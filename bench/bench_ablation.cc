@@ -1,0 +1,67 @@
+// Ablation study of the RBM-IM design choices called out in DESIGN.md.
+// Not a paper table — it regenerates the evidence behind the paper's
+// design arguments:
+//   * trigger rule: combined (default) vs z-jump-only vs ADWIN-only vs
+//     trend/Granger-only (Sec. V-B decision stage),
+//   * skew-insensitive loss: class-balanced on vs off (Eq. 13), evaluated
+//     on a high-IR stream where the difference should matter.
+//
+// Usage: bench_ablation [--scale 0.01] [--seed 42] [--csv ablation.csv]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "utils/cli.h"
+#include "utils/table.h"
+
+int main(int argc, char** argv) {
+  ccd::Cli cli(argc, argv);
+  double scale = cli.GetDouble("scale", 0.01);
+  uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+
+  const std::vector<std::string> variants = {
+      "RBM-IM",           // combined trigger, class-balanced (default)
+      "RBM-IM-granger",   // trend/Granger path only
+      "RBM-IM-adwin",     // per-class ADWIN only
+      "RBM-IM-nobalance"  // combined trigger, plain (skew-sensitive) loss
+  };
+  const std::vector<std::string> streams = {"RBF5", "RBF10", "RBF20",
+                                            "Aggrawal10", "Hyperplane10"};
+
+  ccd::Table table;
+  std::vector<std::string> header = {"Dataset", "IR"};
+  for (const auto& v : variants) header.push_back(v + ":pmAUC");
+  for (const auto& v : variants) header.push_back(v + ":drifts");
+  table.SetHeader(header);
+
+  for (const std::string& stream_name : streams) {
+    const ccd::StreamSpec* spec = ccd::FindStreamSpec(stream_name);
+    if (spec == nullptr) continue;
+    for (double ir : {spec->imbalance_ratio, 400.0}) {
+      ccd::BuildOptions options;
+      options.scale = scale;
+      options.seed = seed;
+      options.ir_override = ir;
+
+      std::vector<std::string> row = {stream_name, ccd::Table::Num(ir, 0)};
+      std::vector<std::string> drift_cells;
+      for (const auto& v : variants) {
+        ccd::PrequentialResult r =
+            ccd::bench::EvaluateDetectorOnStream(*spec, options, v);
+        row.push_back(ccd::Table::Num(100.0 * r.mean_pmauc));
+        drift_cells.push_back(std::to_string(r.drifts));
+      }
+      for (auto& c : drift_cells) row.push_back(c);
+      table.AddRow(row);
+    }
+    std::fprintf(stderr, "done %s\n", stream_name.c_str());
+  }
+
+  std::printf("RBM-IM ablation (scale=%.4f)\n\n%s\n", scale,
+              table.ToText().c_str());
+  std::string csv = cli.GetString("csv", "");
+  if (!csv.empty() && table.WriteCsv(csv)) std::printf("wrote %s\n", csv.c_str());
+  return 0;
+}

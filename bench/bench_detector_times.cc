@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks for the bottom rows of Table III: the
+// per-batch monitoring ("test") and model-update cost of each detector, as
+// a function of the number of classes and features. The absolute numbers
+// are machine-specific; the paper's *shape* claim is that the statistical
+// detectors (WSTD/RDDM/FHDDM) are cheapest, while among the skew-aware
+// detectors RBM-IM tests faster than PerfSim / DDM-OCI at high K despite
+// being trainable.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "harness.h"
+#include "stream/stream.h"
+#include "utils/rng.h"
+
+namespace {
+
+/// Pre-generates a buffer of (instance, prediction, scores) outcomes so the
+/// benchmark loop measures only DriftDetector::Observe.
+struct Workload {
+  ccd::StreamSchema schema;
+  std::vector<ccd::Instance> instances;
+  std::vector<int> predictions;
+  std::vector<std::vector<double>> scores;
+
+  Workload(int d, int k, size_t n) : schema(d, k, "bench") {
+    ccd::Rng rng(99);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> x(static_cast<size_t>(d));
+      for (double& v : x) v = rng.NextDouble();
+      int y = rng.UniformInt(0, k - 1);
+      instances.emplace_back(std::move(x), y);
+      predictions.push_back(rng.Bernoulli(0.7) ? y : rng.UniformInt(0, k - 1));
+      std::vector<double> s(static_cast<size_t>(k), 1.0 / k);
+      s[static_cast<size_t>(predictions.back())] += 0.5;
+      scores.push_back(std::move(s));
+    }
+  }
+};
+
+void DetectorObserve(benchmark::State& state, const std::string& name) {
+  int k = static_cast<int>(state.range(0));
+  int d = static_cast<int>(state.range(1));
+  Workload w(d, k, 4096);
+  auto detector = ccd::bench::MakeDetector(name, w.schema, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    detector->Observe(w.instances[i], w.predictions[i], w.scores[i]);
+    benchmark::DoNotOptimize(detector->state());
+    i = (i + 1) % w.instances.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RegisterAll() {
+  for (const char* name :
+       {"WSTD", "RDDM", "FHDDM", "PerfSim", "DDM-OCI", "RBM-IM"}) {
+    std::string label = std::string("Observe/") + name;
+    auto* b = benchmark::RegisterBenchmark(
+        label.c_str(),
+        [name](benchmark::State& s) { DetectorObserve(s, name); });
+    // (classes, features) pairs matching the artificial benchmark scales.
+    b->Args({5, 20})->Args({10, 40})->Args({20, 80});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

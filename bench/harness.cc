@@ -1,0 +1,105 @@
+#include "harness.h"
+
+#include "detectors/adwin.h"
+#include "detectors/ddm.h"
+#include "detectors/ddm_oci.h"
+#include "detectors/eddm.h"
+#include "detectors/fhddm.h"
+#include "detectors/hddm.h"
+#include "detectors/perfsim.h"
+#include "detectors/rddm.h"
+#include "detectors/ecdd.h"
+#include "detectors/page_hinkley.h"
+#include "detectors/wstd.h"
+
+namespace ccd {
+namespace bench {
+
+const std::vector<std::string>& PaperDetectorNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "WSTD", "RDDM", "FHDDM", "PerfSim", "DDM-OCI", "RBM-IM"};
+  return *names;
+}
+
+std::unique_ptr<DriftDetector> MakeDetector(const std::string& name,
+                                            const StreamSchema& schema,
+                                            uint64_t seed) {
+  if (name == "WSTD") {
+    Wstd::Params p;
+    return std::make_unique<Wstd>(p);
+  }
+  if (name == "RDDM") {
+    Rddm::Params p;
+    return std::make_unique<Rddm>(p);
+  }
+  if (name == "FHDDM") {
+    Fhddm::Params p;
+    return std::make_unique<Fhddm>(p);
+  }
+  if (name == "DDM") {
+    return std::make_unique<Ddm>();
+  }
+  if (name == "EDDM") {
+    return std::make_unique<Eddm>();
+  }
+  if (name == "ADWIN") {
+    return std::make_unique<Adwin>();
+  }
+  if (name == "HDDM-A") {
+    return std::make_unique<HddmA>();
+  }
+  if (name == "PageHinkley") {
+    return std::make_unique<PageHinkley>();
+  }
+  if (name == "ECDD") {
+    return std::make_unique<Ecdd>();
+  }
+  if (name == "PerfSim") {
+    PerfSim::Params p;
+    p.num_classes = schema.num_classes;
+    return std::make_unique<PerfSim>(p);
+  }
+  if (name == "DDM-OCI") {
+    DdmOci::Params p;
+    p.num_classes = schema.num_classes;
+    return std::make_unique<DdmOci>(p);
+  }
+  if (name == "RBM-IM" || name == "RBM-IM-adwin" || name == "RBM-IM-granger" ||
+      name == "RBM-IM-nobalance") {
+    RbmIm::Params p;
+    p.num_features = schema.num_features;
+    p.num_classes = schema.num_classes;
+    if (name == "RBM-IM-adwin") p.trigger = RbmIm::Trigger::kAdwinOnly;
+    if (name == "RBM-IM-granger") p.trigger = RbmIm::Trigger::kGranger;
+    if (name == "RBM-IM-nobalance") p.class_balanced = false;
+    return std::make_unique<RbmIm>(p, seed);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<OnlineClassifier> MakeBaseClassifier(
+    const StreamSchema& schema) {
+  CsPerceptronTree::Params p;
+  return std::make_unique<CsPerceptronTree>(schema, p);
+}
+
+PrequentialResult EvaluateDetectorOnStream(const StreamSpec& spec,
+                                           const BuildOptions& options,
+                                           const std::string& detector_name) {
+  BuiltStream built = BuildStream(spec, options);
+  std::unique_ptr<OnlineClassifier> classifier =
+      MakeBaseClassifier(built.stream->schema());
+  std::unique_ptr<DriftDetector> detector =
+      MakeDetector(detector_name, built.stream->schema(), options.seed);
+
+  PrequentialConfig config;
+  config.max_instances = built.length;
+  config.metric_window = 1000;
+  config.eval_interval = 250;
+  config.warmup = 500;
+  return RunPrequential(built.stream.get(), classifier.get(), detector.get(),
+                        config);
+}
+
+}  // namespace bench
+}  // namespace ccd

@@ -1,0 +1,43 @@
+#ifndef CCD_BENCH_HARNESS_H_
+#define CCD_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classifiers/cs_perceptron_tree.h"
+#include "core/rbm_im.h"
+#include "detectors/detector.h"
+#include "eval/prequential.h"
+#include "generators/registry.h"
+
+namespace ccd {
+namespace bench {
+
+/// The six detectors of the paper's experimental study, in Table III
+/// column order.
+const std::vector<std::string>& PaperDetectorNames();
+
+/// Builds a detector by name ("WSTD", "RDDM", "FHDDM", "PerfSim",
+/// "DDM-OCI", "RBM-IM" — plus the extra baselines "DDM", "EDDM", "ADWIN",
+/// "HDDM-A") configured for a stream with the given schema. Returns nullptr
+/// for unknown names.
+std::unique_ptr<DriftDetector> MakeDetector(const std::string& name,
+                                            const StreamSchema& schema,
+                                            uint64_t seed);
+
+/// The paper's base classifier (Adaptive Cost-Sensitive Perceptron Tree)
+/// configured for `schema`.
+std::unique_ptr<OnlineClassifier> MakeBaseClassifier(const StreamSchema& schema);
+
+/// One (stream, detector) prequential evaluation. Instantiates the spec
+/// with `options`, runs test-then-train with drift-triggered resets and
+/// returns the aggregate result.
+PrequentialResult EvaluateDetectorOnStream(const StreamSpec& spec,
+                                           const BuildOptions& options,
+                                           const std::string& detector_name);
+
+}  // namespace bench
+}  // namespace ccd
+
+#endif  // CCD_BENCH_HARNESS_H_

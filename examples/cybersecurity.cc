@@ -1,0 +1,102 @@
+// Cybersecurity scenario from the paper's motivation (Sec. IV): network
+// traffic where benign flows are the overwhelming majority and several
+// attack families appear with very different, evolving frequencies. Attacks
+// mutate over time to evade detection (local real drift on the attack
+// classes) while benign traffic stays stationary — exactly Scenario 3.
+//
+// The example builds that stream, runs the full pipeline (cost-sensitive
+// perceptron tree + RBM-IM), and reports per-attack-class recall before and
+// after the mutation plus where the detector localized the change.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "classifiers/cs_perceptron_tree.h"
+#include "core/rbm_im.h"
+#include "eval/confusion.h"
+#include "generators/drifting_stream.h"
+#include "generators/rbf.h"
+
+namespace {
+
+constexpr int kClasses = 6;  // 0=benign, 1..5 attack families.
+const char* kClassNames[kClasses] = {"benign",   "ddos",      "portscan",
+                                     "botnet",   "bruteforce", "zero-day"};
+
+}  // namespace
+
+int main() {
+  // --- Traffic model: 24 aggregate flow features; each class is a mixture
+  //     of behaviours (RBF centroids).
+  ccd::RbfConcept::Options concept_opt;
+  concept_opt.num_features = 24;
+  concept_opt.num_classes = kClasses;
+  concept_opt.centroids_per_class = 4;
+
+  std::vector<std::unique_ptr<ccd::Concept>> concepts;
+  concepts.push_back(std::make_unique<ccd::RbfConcept>(concept_opt, 101));
+  concepts.push_back(std::make_unique<ccd::RbfConcept>(concept_opt, 202));
+
+  // --- The mutation: at t=40000 the botnet and zero-day families change
+  //     their behaviour (real local drift); benign and the rest are stable.
+  ccd::DriftEvent mutation;
+  mutation.start = 40000;
+  mutation.width = 4000;  // A gradual campaign roll-out.
+  mutation.type = ccd::DriftType::kGradual;
+  mutation.affected = {3, 5};
+
+  // --- Extreme imbalance: benign dominates at IR ~ 300, and the attack mix
+  //     itself oscillates over time.
+  ccd::ImbalanceSchedule::Options imbalance;
+  imbalance.num_classes = kClasses;
+  imbalance.dynamic = true;
+  imbalance.ir_low = 150.0;
+  imbalance.ir_high = 300.0;
+  imbalance.ir_period = 30000;
+
+  ccd::DriftingClassStream stream(std::move(concepts), {mutation},
+                                  ccd::ImbalanceSchedule(imbalance), 7);
+
+  ccd::CsPerceptronTree classifier(stream.schema());
+  ccd::RbmIm::Params det_params;
+  det_params.num_features = stream.schema().num_features;
+  det_params.num_classes = kClasses;
+  // With IR up to 300 the rare attack families need a longer per-class
+  // warm-up before their reconstruction baselines are trustworthy.
+  det_params.min_batches = 32;
+  ccd::RbmIm detector(det_params, 7);
+
+  ccd::ConfusionMatrix before(kClasses), after(kClasses);
+  const uint64_t kTotal = 80000;
+  std::printf("streaming %llu flows (mutation of %s+%s at t=40000)...\n",
+              static_cast<unsigned long long>(kTotal), kClassNames[3],
+              kClassNames[5]);
+
+  for (uint64_t t = 0; t < kTotal; ++t) {
+    ccd::Instance flow = stream.Next();
+    int predicted = classifier.Predict(flow);
+    (t < 40000 ? before : after).Add(flow.label, predicted);
+
+    detector.Observe(flow, predicted, classifier.PredictScores(flow));
+    if (detector.state() == ccd::DetectorState::kDrift) {
+      std::printf("t=%6llu  ALERT: behavioural drift in {",
+                  static_cast<unsigned long long>(t));
+      for (int k : detector.drifted_classes()) {
+        std::printf(" %s", kClassNames[k]);
+      }
+      std::printf(" } -> retraining the classifier\n");
+      classifier.Reset();
+    }
+    classifier.Train(flow);
+  }
+
+  std::printf("\nper-class recall (before / after mutation window):\n");
+  for (int k = 0; k < kClasses; ++k) {
+    std::printf("  %-11s %5.1f%%  /  %5.1f%%\n", kClassNames[k],
+                100.0 * before.Recall(k), 100.0 * after.Recall(k));
+  }
+  std::printf("\nG-mean before=%.3f after=%.3f (drift handled: recovery).\n",
+              before.GMean(), after.GMean());
+  return 0;
+}

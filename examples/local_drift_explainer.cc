@@ -1,0 +1,100 @@
+// Scenario 3 / Experiment 2 of the paper, as an explainability demo: a
+// 10-class imbalanced stream where only the two smallest minority classes
+// undergo real concept drift. A global detector can at best say "something
+// changed"; RBM-IM's per-class monitors say *which classes* changed, which
+// is the paper's "crucial step towards explainable drift detection".
+//
+// The demo contrasts RBM-IM's localization with DDM-OCI (per-class recall
+// monitor) and FHDDM (global accuracy monitor) on the same stream
+// realization, printing every alarm each detector raises.
+
+#include <cstdio>
+#include <memory>
+
+#include "classifiers/cs_perceptron_tree.h"
+#include "core/rbm_im.h"
+#include "detectors/ddm_oci.h"
+#include "detectors/fhddm.h"
+#include "generators/registry.h"
+
+namespace {
+
+void Report(const char* who, uint64_t t, const std::vector<int>& classes) {
+  std::printf("t=%6llu  %-8s drift", static_cast<unsigned long long>(t), who);
+  if (classes.empty()) {
+    std::printf(" (global signal, no localization)");
+  } else {
+    std::printf(" on classes:");
+    for (int k : classes) std::printf(" %d", k);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const ccd::StreamSpec* spec = ccd::FindStreamSpec("RBF10");
+  if (spec == nullptr) return 1;
+
+  ccd::BuildOptions options;
+  options.scale = 0.05;           // 50k instances, drifts at 12.5k/25k/37.5k.
+  options.seed = 3;
+  options.local_drift_classes = 2;  // Only classes 9 and 8 (smallest) drift.
+
+  // Three identical stream realizations, one per detector, so alarms are
+  // directly comparable.
+  ccd::BuiltStream s1 = ccd::BuildStream(*spec, options);
+  ccd::BuiltStream s2 = ccd::BuildStream(*spec, options);
+  ccd::BuiltStream s3 = ccd::BuildStream(*spec, options);
+
+  ccd::RbmIm::Params p;
+  p.num_features = spec->num_features;
+  p.num_classes = spec->num_classes;
+  ccd::RbmIm rbm_im(p, 3);
+  ccd::DdmOci::Params oci_params;
+  oci_params.num_classes = spec->num_classes;
+  ccd::DdmOci ddm_oci(oci_params);
+  ccd::Fhddm fhddm;
+
+  ccd::CsPerceptronTree c1(s1.stream->schema());
+  ccd::CsPerceptronTree c2(s2.stream->schema());
+  ccd::CsPerceptronTree c3(s3.stream->schema());
+
+  std::printf(
+      "RBF10, local drift on the two smallest classes (9, 8) at t=%llu, "
+      "%llu, %llu\n\n",
+      static_cast<unsigned long long>(s1.stream->events()[0].start),
+      static_cast<unsigned long long>(s1.stream->events()[1].start),
+      static_cast<unsigned long long>(s1.stream->events()[2].start));
+
+  struct Lane {
+    ccd::BuiltStream* built;
+    ccd::CsPerceptronTree* clf;
+    ccd::DriftDetector* det;
+    const char* name;
+  };
+  Lane lanes[] = {{&s1, &c1, &rbm_im, "RBM-IM"},
+                  {&s2, &c2, &ddm_oci, "DDM-OCI"},
+                  {&s3, &c3, &fhddm, "FHDDM"}};
+
+  for (uint64_t t = 0; t < s1.length; ++t) {
+    for (Lane& lane : lanes) {
+      ccd::Instance inst = lane.built->stream->Next();
+      auto scores = lane.clf->PredictScores(inst);
+      int predicted = 0;
+      for (size_t c = 1; c < scores.size(); ++c) {
+        if (scores[c] > scores[predicted]) predicted = static_cast<int>(c);
+      }
+      lane.det->Observe(inst, predicted, scores);
+      if (lane.det->state() == ccd::DetectorState::kDrift) {
+        Report(lane.name, t, lane.det->drifted_classes());
+        lane.clf->Reset();
+      }
+      lane.clf->Train(inst);
+    }
+  }
+  std::printf(
+      "\nGround truth: only classes 9 and 8 drifted. Alarms naming exactly "
+      "those\nclasses demonstrate correct localization.\n");
+  return 0;
+}

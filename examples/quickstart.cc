@@ -1,0 +1,79 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Builds a 5-class imbalanced RBF stream with one sudden global drift,
+// attaches the paper's base classifier (cost-sensitive perceptron tree)
+// and the RBM-IM drift detector, runs the prequential loop and prints
+// where drift was detected and how the per-class signals localized it.
+
+#include <cstdio>
+#include <memory>
+
+#include "classifiers/cs_perceptron_tree.h"
+#include "core/rbm_im.h"
+#include "eval/metrics.h"
+#include "generators/drifting_stream.h"
+#include "generators/rbf.h"
+
+int main() {
+  // --- 1. Compose a stream: two RBF concepts, one sudden drift at t=15000,
+  //        geometric class imbalance with max/min ratio 20.
+  ccd::RbfConcept::Options concept_opt;
+  concept_opt.num_features = 12;
+  concept_opt.num_classes = 5;
+
+  std::vector<std::unique_ptr<ccd::Concept>> concepts;
+  concepts.push_back(std::make_unique<ccd::RbfConcept>(concept_opt, /*seed=*/1));
+  concepts.push_back(std::make_unique<ccd::RbfConcept>(concept_opt, /*seed=*/2));
+
+  ccd::DriftEvent drift;
+  drift.start = 15000;
+  drift.type = ccd::DriftType::kSudden;
+
+  ccd::ImbalanceSchedule::Options imbalance;
+  imbalance.num_classes = 5;
+  imbalance.base_ir = 20.0;
+
+  ccd::DriftingClassStream stream(std::move(concepts), {drift},
+                                  ccd::ImbalanceSchedule(imbalance),
+                                  /*seed=*/7);
+
+  // --- 2. Classifier + detector.
+  ccd::CsPerceptronTree classifier(stream.schema());
+
+  ccd::RbmIm::Params det_params;
+  det_params.num_features = stream.schema().num_features;
+  det_params.num_classes = stream.schema().num_classes;
+  ccd::RbmIm detector(det_params, /*seed=*/7);
+
+  // --- 3. Prequential loop (test -> detect -> train).
+  ccd::WindowedMetrics metrics(stream.schema().num_classes, 1000);
+  const uint64_t kTotal = 30000;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    ccd::Instance instance = stream.Next();
+    std::vector<double> scores = classifier.PredictScores(instance);
+    int predicted = 0;
+    for (size_t c = 1; c < scores.size(); ++c) {
+      if (scores[c] > scores[predicted]) predicted = static_cast<int>(c);
+    }
+    metrics.Add(instance.label, predicted, scores);
+
+    detector.Observe(instance, predicted, scores);
+    if (detector.state() == ccd::DetectorState::kDrift) {
+      std::printf("t=%6llu  DRIFT detected on classes:",
+                  static_cast<unsigned long long>(i));
+      for (int k : detector.drifted_classes()) std::printf(" %d", k);
+      std::printf("   (true drift injected at t=15000)\n");
+      classifier.Reset();
+    }
+    classifier.Train(instance);
+
+    if (i > 0 && i % 5000 == 0) {
+      std::printf("t=%6llu  pmAUC=%.3f  pmG-mean=%.3f  acc=%.3f\n",
+                  static_cast<unsigned long long>(i), metrics.PmAuc(),
+                  metrics.PmGMean(), metrics.Accuracy());
+    }
+  }
+  std::printf("done: final pmAUC=%.3f pmG-mean=%.3f\n", metrics.PmAuc(),
+              metrics.PmGMean());
+  return 0;
+}

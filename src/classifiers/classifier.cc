@@ -1,0 +1,14 @@
+#include "classifiers/classifier.h"
+
+namespace ccd {
+
+int OnlineClassifier::Predict(const Instance& instance) const {
+  std::vector<double> scores = PredictScores(instance);
+  int best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace ccd

@@ -1,0 +1,42 @@
+#ifndef CCD_CLASSIFIERS_CLASSIFIER_H_
+#define CCD_CLASSIFIERS_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/instance.h"
+
+namespace ccd {
+
+/// Interface of incremental (online) classifiers used as the drift
+/// detectors' backbone. The prequential protocol is test-then-train:
+/// PredictScores() is always called on an instance before Train() sees it.
+class OnlineClassifier {
+ public:
+  virtual ~OnlineClassifier() = default;
+
+  virtual const StreamSchema& schema() const = 0;
+
+  /// Incorporates one labelled instance.
+  virtual void Train(const Instance& instance) = 0;
+
+  /// Per-class support scores; non-negative, summing to 1 (the multi-class
+  /// AUC metric relies on score ordering).
+  virtual std::vector<double> PredictScores(const Instance& instance) const = 0;
+
+  /// Argmax of PredictScores.
+  virtual int Predict(const Instance& instance) const;
+
+  /// Forgets everything (used when a drift detector fires).
+  virtual void Reset() = 0;
+
+  /// Fresh, untrained classifier with identical configuration.
+  virtual std::unique_ptr<OnlineClassifier> Clone() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_CLASSIFIERS_CLASSIFIER_H_

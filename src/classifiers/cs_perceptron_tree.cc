@@ -1,0 +1,199 @@
+#include "classifiers/cs_perceptron_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace ccd {
+
+CsPerceptronTree::CsPerceptronTree(const StreamSchema& schema,
+                                   const Params& params)
+    : schema_(schema), params_(params) {
+  Reset();
+}
+
+void CsPerceptronTree::Reset() {
+  nodes_.clear();
+  nodes_.emplace_back();
+  nodes_[0].depth = 0;
+  InitLeaf(&nodes_[0]);
+  num_leaves_ = 1;
+}
+
+void CsPerceptronTree::InitLeaf(Node* node) {
+  node->feature = -1;
+  node->leaf = std::make_unique<Leaf>();
+  Leaf& leaf = *node->leaf;
+  leaf.class_counts.assign(static_cast<size_t>(schema_.num_classes), 0.0);
+  leaf.feature_stats.assign(
+      static_cast<size_t>(schema_.num_features),
+      std::vector<Welford>(static_cast<size_t>(schema_.num_classes)));
+  leaf.perceptron =
+      std::make_unique<SoftmaxPerceptron>(schema_, params_.leaf_params);
+}
+
+int CsPerceptronTree::Route(const Instance& instance) const {
+  int cur = 0;
+  while (nodes_[static_cast<size_t>(cur)].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    double v = n.feature < static_cast<int>(instance.features.size())
+                   ? instance.features[static_cast<size_t>(n.feature)]
+                   : 0.0;
+    cur = v < n.threshold ? n.left : n.right;
+  }
+  return cur;
+}
+
+double CsPerceptronTree::Entropy(const std::vector<double>& counts) const {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) {
+      double p = c / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+double CsPerceptronTree::SplitGain(const Leaf& leaf, int feature,
+                                   double threshold) const {
+  const size_t k = leaf.class_counts.size();
+  std::vector<double> left(k, 0.0), right(k, 0.0);
+  double total = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    double n = leaf.class_counts[c];
+    if (n <= 0.0) continue;
+    const Welford& w = leaf.feature_stats[static_cast<size_t>(feature)][c];
+    if (w.count() < 2) {
+      left[c] += n * 0.5;
+      right[c] += n * 0.5;
+    } else {
+      double sd = std::max(std::sqrt(w.Variance()), 1e-3);
+      double p_left = NormalCdf((threshold - w.mean()) / sd);
+      left[c] += n * p_left;
+      right[c] += n * (1.0 - p_left);
+    }
+    total += n;
+  }
+  if (total <= 0.0) return 0.0;
+  double nl = 0.0, nr = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    nl += left[c];
+    nr += right[c];
+  }
+  double h0 = Entropy(leaf.class_counts);
+  double h_split = (nl / total) * Entropy(left) + (nr / total) * Entropy(right);
+  return h0 - h_split;
+}
+
+void CsPerceptronTree::MaybeSplit(int node_index) {
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  Leaf& leaf = *node.leaf;
+  if (node.depth >= params_.max_depth || num_leaves_ >= params_.max_leaves) {
+    return;
+  }
+
+  // Candidate thresholds: per feature, the class-conditional means.
+  double best_gain = 0.0, second_gain = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  for (int f = 0; f < schema_.num_features; ++f) {
+    for (size_t c = 0; c < leaf.class_counts.size(); ++c) {
+      const Welford& w = leaf.feature_stats[static_cast<size_t>(f)][c];
+      if (w.count() < 5) continue;
+      double gain = SplitGain(leaf, f, w.mean());
+      if (gain > best_gain) {
+        second_gain = best_gain;
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = w.mean();
+      } else if (gain > second_gain) {
+        second_gain = gain;
+      }
+    }
+  }
+  if (best_feature < 0) return;
+
+  double range = std::log2(std::max(2, schema_.num_classes));
+  double eps = HoeffdingBound(range, params_.split_confidence, leaf.total);
+  bool separated = best_gain - second_gain > eps;
+  bool tie = eps < params_.tie_threshold;
+  if (best_gain <= 1e-3 || (!separated && !tie)) return;
+
+  // Split: children inherit the parent's perceptron configuration; their
+  // statistics restart (standard Hoeffding-tree behaviour).
+  int left_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  int right_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  // note: `node` reference may dangle after emplace_back; re-acquire.
+  Node& parent = nodes_[static_cast<size_t>(node_index)];
+  nodes_[static_cast<size_t>(left_index)].depth = parent.depth + 1;
+  nodes_[static_cast<size_t>(right_index)].depth = parent.depth + 1;
+  InitLeaf(&nodes_[static_cast<size_t>(left_index)]);
+  InitLeaf(&nodes_[static_cast<size_t>(right_index)]);
+  parent.feature = best_feature;
+  parent.threshold = best_threshold;
+  parent.left = left_index;
+  parent.right = right_index;
+  parent.leaf.reset();
+  num_leaves_ += 1;  // One leaf became two.
+}
+
+void CsPerceptronTree::Train(const Instance& instance) {
+  int y = instance.label;
+  if (y < 0 || y >= schema_.num_classes) return;
+  int idx = Route(instance);
+  Node& node = nodes_[static_cast<size_t>(idx)];
+  Leaf& leaf = *node.leaf;
+
+  leaf.class_counts[static_cast<size_t>(y)] += 1.0;
+  leaf.total += 1.0;
+  size_t d = std::min(instance.features.size(), leaf.feature_stats.size());
+  for (size_t i = 0; i < d; ++i) {
+    leaf.feature_stats[i][static_cast<size_t>(y)].Add(instance.features[i]);
+  }
+  leaf.perceptron->Train(instance);
+
+  if (++leaf.since_split_check >= params_.grace_period) {
+    leaf.since_split_check = 0;
+    MaybeSplit(idx);
+  }
+}
+
+std::vector<double> CsPerceptronTree::PredictScores(
+    const Instance& instance) const {
+  int idx = Route(instance);
+  const Leaf& leaf = *nodes_[static_cast<size_t>(idx)].leaf;
+  std::vector<double> scores = leaf.perceptron->PredictScores(instance);
+
+  // Young leaves have unreliable perceptrons: blend with the leaf's class
+  // frequency estimate (Laplace-smoothed), fading out by 100 instances.
+  double maturity = std::min(leaf.total / 100.0, 1.0);
+  double total = leaf.total + static_cast<double>(schema_.num_classes);
+  for (size_t c = 0; c < scores.size(); ++c) {
+    double freq = (leaf.class_counts[c] + 1.0) / total;
+    scores[c] = maturity * scores[c] + (1.0 - maturity) * freq;
+  }
+  // Renormalize (the blend keeps it close to 1 already).
+  double s = 0.0;
+  for (double v : scores) s += v;
+  for (double& v : scores) v /= s;
+  return scores;
+}
+
+int CsPerceptronTree::depth() const {
+  int max_depth = 0;
+  for (const Node& n : nodes_) max_depth = std::max(max_depth, n.depth);
+  return max_depth;
+}
+
+std::unique_ptr<OnlineClassifier> CsPerceptronTree::Clone() const {
+  return std::make_unique<CsPerceptronTree>(schema_, params_);
+}
+
+}  // namespace ccd

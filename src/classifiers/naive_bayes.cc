@@ -1,0 +1,62 @@
+#include "classifiers/naive_bayes.h"
+
+#include <cmath>
+
+namespace ccd {
+
+GaussianNaiveBayes::GaussianNaiveBayes(const StreamSchema& schema)
+    : schema_(schema) {
+  Reset();
+}
+
+void GaussianNaiveBayes::Reset() {
+  stats_.assign(static_cast<size_t>(schema_.num_classes),
+                std::vector<Welford>(static_cast<size_t>(schema_.num_features)));
+  class_counts_.assign(static_cast<size_t>(schema_.num_classes), 0.0);
+  total_ = 0.0;
+}
+
+void GaussianNaiveBayes::Train(const Instance& instance) {
+  int y = instance.label;
+  if (y < 0 || y >= schema_.num_classes) return;
+  auto& row = stats_[static_cast<size_t>(y)];
+  size_t d = std::min(instance.features.size(), row.size());
+  for (size_t i = 0; i < d; ++i) row[i].Add(instance.features[i]);
+  class_counts_[static_cast<size_t>(y)] += 1.0;
+  total_ += 1.0;
+}
+
+std::vector<double> GaussianNaiveBayes::PredictScores(
+    const Instance& instance) const {
+  const size_t k = stats_.size();
+  std::vector<double> log_probs(k, 0.0);
+  double max_lp = -1e300;
+  for (size_t c = 0; c < k; ++c) {
+    // Laplace-smoothed prior.
+    double lp = std::log((class_counts_[c] + 1.0) /
+                         (total_ + static_cast<double>(k)));
+    const auto& row = stats_[c];
+    size_t d = std::min(instance.features.size(), row.size());
+    for (size_t i = 0; i < d; ++i) {
+      if (row[i].count() < 2) continue;
+      double var = row[i].Variance() + 1e-4;  // Variance floor.
+      double diff = instance.features[i] - row[i].mean();
+      lp += -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+    }
+    log_probs[c] = lp;
+    if (lp > max_lp) max_lp = lp;
+  }
+  double totalp = 0.0;
+  for (double& lp : log_probs) {
+    lp = std::exp(lp - max_lp);
+    totalp += lp;
+  }
+  for (double& lp : log_probs) lp /= totalp;
+  return log_probs;
+}
+
+std::unique_ptr<OnlineClassifier> GaussianNaiveBayes::Clone() const {
+  return std::make_unique<GaussianNaiveBayes>(schema_);
+}
+
+}  // namespace ccd

@@ -1,0 +1,54 @@
+#ifndef CCD_CLASSIFIERS_PERCEPTRON_H_
+#define CCD_CLASSIFIERS_PERCEPTRON_H_
+
+#include <memory>
+#include <vector>
+
+#include "classifiers/classifier.h"
+
+namespace ccd {
+
+/// Online multi-class softmax (logistic) perceptron with optional
+/// cost-sensitive updates.
+///
+/// Maintains one weight vector (+bias) per class trained by SGD on the
+/// cross-entropy loss. When `cost_sensitive` is set, each update is scaled
+/// by the inverse decayed frequency of the instance's class, which is the
+/// standard cost-vector choice for skewed streams and the mechanism the
+/// Adaptive Cost-Sensitive Perceptron Tree (Krawczyk & Skryjomski, ECML
+/// PKDD 2017) applies at its leaves.
+class SoftmaxPerceptron : public OnlineClassifier {
+ public:
+  struct Params {
+    double learning_rate = 0.1;
+    bool cost_sensitive = true;
+    double count_decay = 0.9995;  ///< Class-frequency forgetting factor.
+    double max_cost = 10.0;       ///< Clamp on the per-class cost weight.
+  };
+
+  explicit SoftmaxPerceptron(const StreamSchema& schema)
+      : SoftmaxPerceptron(schema, Params()) {}
+  SoftmaxPerceptron(const StreamSchema& schema, const Params& params);
+
+  const StreamSchema& schema() const override { return schema_; }
+  void Train(const Instance& instance) override;
+  std::vector<double> PredictScores(const Instance& instance) const override;
+  void Reset() override;
+  std::unique_ptr<OnlineClassifier> Clone() const override;
+  std::string name() const override { return "SoftmaxPerceptron"; }
+
+  /// Cost weight currently applied to class k's updates.
+  double CostWeight(int k) const;
+
+ private:
+  StreamSchema schema_;
+  Params params_;
+  /// weights_[k] has d+1 entries (bias last).
+  std::vector<std::vector<double>> weights_;
+  std::vector<double> class_counts_;
+  double total_count_ = 0.0;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_CLASSIFIERS_PERCEPTRON_H_

@@ -1,0 +1,301 @@
+#include "core/rbm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccd {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double Softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return 0.0;
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace
+
+Rbm::Rbm(const Params& params, uint64_t seed) : params_(params), rng_(seed) {
+  const size_t v = static_cast<size_t>(params_.visible);
+  const size_t h = static_cast<size_t>(params_.hidden);
+  const size_t z = static_cast<size_t>(params_.classes);
+  w_.resize(v * h);
+  u_.resize(h * z);
+  for (double& x : w_) x = rng_.Gaussian(0.0, params_.weight_init_sigma);
+  for (double& x : u_) x = rng_.Gaussian(0.0, params_.weight_init_sigma);
+  a_.assign(v, 0.0);
+  b_.assign(h, 0.0);
+  c_.assign(z, 0.0);
+  class_counts_.assign(z, 0.0);
+}
+
+std::vector<double> Rbm::HiddenProbs(const std::vector<double>& v,
+                                     const std::vector<double>& z) const {
+  std::vector<double> ph(static_cast<size_t>(params_.hidden));
+  for (int j = 0; j < params_.hidden; ++j) {
+    double act = b_[static_cast<size_t>(j)];
+    for (int i = 0; i < params_.visible; ++i) {
+      act += v[static_cast<size_t>(i)] * Wc(i, j);
+    }
+    for (int k = 0; k < params_.classes; ++k) {
+      act += z[static_cast<size_t>(k)] * Uc(j, k);
+    }
+    ph[static_cast<size_t>(j)] = Sigmoid(act);
+  }
+  return ph;
+}
+
+std::vector<double> Rbm::VisibleProbs(const std::vector<double>& h) const {
+  std::vector<double> pv(static_cast<size_t>(params_.visible));
+  for (int i = 0; i < params_.visible; ++i) {
+    double act = a_[static_cast<size_t>(i)];
+    for (int j = 0; j < params_.hidden; ++j) {
+      act += h[static_cast<size_t>(j)] * Wc(i, j);
+    }
+    pv[static_cast<size_t>(i)] = Sigmoid(act);
+  }
+  return pv;
+}
+
+std::vector<double> Rbm::HiddenFromVisible(const std::vector<double>& v) const {
+  std::vector<double> ph(static_cast<size_t>(params_.hidden));
+  for (int j = 0; j < params_.hidden; ++j) {
+    double act = b_[static_cast<size_t>(j)];
+    for (int i = 0; i < params_.visible; ++i) {
+      act += v[static_cast<size_t>(i)] * Wc(i, j);
+    }
+    ph[static_cast<size_t>(j)] = Sigmoid(act);
+  }
+  return ph;
+}
+
+std::vector<double> Rbm::ClassReadout(const std::vector<double>& v) const {
+  return ClassProbs(HiddenFromVisible(v));
+}
+
+std::vector<double> Rbm::ClassProbs(const std::vector<double>& h) const {
+  std::vector<double> logits(static_cast<size_t>(params_.classes));
+  double max_logit = -1e300;
+  for (int k = 0; k < params_.classes; ++k) {
+    double act = c_[static_cast<size_t>(k)];
+    for (int j = 0; j < params_.hidden; ++j) {
+      act += h[static_cast<size_t>(j)] * Uc(j, k);
+    }
+    logits[static_cast<size_t>(k)] = act;
+    if (act > max_logit) max_logit = act;
+  }
+  double total = 0.0;
+  for (double& l : logits) {
+    l = std::exp(l - max_logit);
+    total += l;
+  }
+  for (double& l : logits) l /= total;
+  return logits;
+}
+
+double Rbm::ClassWeight(int y) const {
+  if (!params_.class_balanced) return 1.0;
+  // Effective number of samples E_n = (1 - beta^n) / (1 - beta); raw
+  // weight = 1/E_n. Normalize by the mean raw weight over observed classes
+  // so the global learning-rate scale is unaffected by K or stream length.
+  auto raw = [this](double n) {
+    if (n <= 0.0) return 1.0;  // Unseen class: maximal raw weight.
+    double eff = (1.0 - std::pow(params_.beta, n)) / (1.0 - params_.beta);
+    return 1.0 / eff;
+  };
+  double sum = 0.0;
+  int seen = 0;
+  for (double n : class_counts_) {
+    if (n > 0.0) {
+      sum += raw(n);
+      ++seen;
+    }
+  }
+  if (seen == 0) return 1.0;
+  double mean = sum / seen;
+  double w = raw(class_counts_[static_cast<size_t>(y)]) / mean;
+  // Clamp to keep one rare instance from destabilizing the whole model.
+  return w > 50.0 ? 50.0 : w;
+}
+
+void Rbm::TrainBatch(const std::vector<Instance>& batch) {
+  if (batch.empty()) return;
+  const size_t v_n = static_cast<size_t>(params_.visible);
+  const size_t h_n = static_cast<size_t>(params_.hidden);
+  const size_t z_n = static_cast<size_t>(params_.classes);
+
+  std::vector<double> gw(v_n * h_n, 0.0), gu(h_n * z_n, 0.0);
+  std::vector<double> ga(v_n, 0.0), gb(h_n, 0.0), gc(z_n, 0.0);
+
+  // Update the decayed class counts first so this batch's weights reflect
+  // its own composition.
+  for (const Instance& s : batch) {
+    for (double& n : class_counts_) n *= params_.count_decay;
+    if (s.label >= 0 && s.label < params_.classes) {
+      class_counts_[static_cast<size_t>(s.label)] += 1.0;
+    }
+  }
+
+  std::vector<double> z0(z_n), h_state(h_n);
+  for (const Instance& s : batch) {
+    if (s.label < 0 || s.label >= params_.classes) continue;
+    const std::vector<double>& v0 = s.features;
+    std::fill(z0.begin(), z0.end(), 0.0);
+    z0[static_cast<size_t>(s.label)] = 1.0;
+    double weight = ClassWeight(s.label);
+
+    // Positive phase: E_data[.] with clamped (v0, z0).
+    std::vector<double> ph0 = HiddenProbs(v0, z0);
+
+    // Negative phase: CD-k. Hidden states are sampled; visible and class
+    // reconstructions use probabilities (standard CD practice).
+    for (size_t j = 0; j < h_n; ++j) {
+      h_state[j] = rng_.Bernoulli(ph0[j]) ? 1.0 : 0.0;
+    }
+    std::vector<double> vk, zk, phk;
+    for (int step = 0; step < params_.cd_steps; ++step) {
+      vk = VisibleProbs(h_state);
+      zk = ClassProbs(h_state);
+      phk = HiddenProbs(vk, zk);
+      if (step + 1 < params_.cd_steps) {
+        for (size_t j = 0; j < h_n; ++j) {
+          h_state[j] = rng_.Bernoulli(phk[j]) ? 1.0 : 0.0;
+        }
+      }
+    }
+
+    // Weighted gradient accumulation: E_data - E_recon (Eq. 16).
+    for (size_t i = 0; i < v_n; ++i) {
+      double vi0 = v0[i], vik = vk[i];
+      for (size_t j = 0; j < h_n; ++j) {
+        gw[i * h_n + j] += weight * (vi0 * ph0[j] - vik * phk[j]);
+      }
+      ga[i] += weight * (vi0 - vik);
+    }
+    for (size_t j = 0; j < h_n; ++j) {
+      for (size_t k = 0; k < z_n; ++k) {
+        gu[j * z_n + k] += weight * (ph0[j] * z0[k] - phk[j] * zk[k]);
+      }
+      gb[j] += weight * (ph0[j] - phk[j]);
+    }
+    for (size_t k = 0; k < z_n; ++k) {
+      gc[k] += weight * (z0[k] - zk[k]);
+    }
+
+    // Discriminative step: cross-entropy gradient of -log P(y | v),
+    // backpropagated through the visible-only hidden encoding (one-hidden-
+    // layer MLP step on U, c, W, b). This is what makes the class read-out
+    // track p(y|x) sharply enough for Eq. 26's label term to carry signal.
+    if (params_.discriminative_rate > 0.0) {
+      std::vector<double> hv = HiddenFromVisible(v0);
+      std::vector<double> py = ClassProbs(hv);
+      // Per-instance SGD step (unlike the CD update, which is a batch
+      // mean); the cost clamp keeps extreme minority weights from blowing
+      // up a single step.
+      double dlr = params_.discriminative_rate * std::min(weight, 5.0);
+      std::vector<double> dh(h_n, 0.0);
+      for (size_t k = 0; k < z_n; ++k) {
+        double err = z0[k] - py[k];
+        if (err == 0.0) continue;
+        c_[k] += dlr * err;
+        for (size_t j = 0; j < h_n; ++j) {
+          dh[j] += err * Uc(static_cast<int>(j), static_cast<int>(k));
+          U(static_cast<int>(j), static_cast<int>(k)) += dlr * err * hv[j];
+        }
+      }
+      for (size_t j = 0; j < h_n; ++j) {
+        double g = dh[j] * hv[j] * (1.0 - hv[j]);
+        if (g == 0.0) continue;
+        b_[j] += dlr * g;
+        for (size_t i = 0; i < v_n; ++i) {
+          W(static_cast<int>(i), static_cast<int>(j)) += dlr * g * v0[i];
+        }
+      }
+    }
+  }
+
+  double lr = params_.learning_rate / static_cast<double>(batch.size());
+  for (size_t i = 0; i < w_.size(); ++i) w_[i] += lr * gw[i];
+  for (size_t i = 0; i < u_.size(); ++i) u_[i] += lr * gu[i];
+  for (size_t i = 0; i < a_.size(); ++i) a_[i] += lr * ga[i];
+  for (size_t i = 0; i < b_.size(); ++i) b_[i] += lr * gb[i];
+  for (size_t i = 0; i < c_.size(); ++i) c_[i] += lr * gc[i];
+}
+
+double Rbm::ReconstructionError(const std::vector<double>& x, int y) const {
+  std::vector<double> z(static_cast<size_t>(params_.classes), 0.0);
+  if (y >= 0 && y < params_.classes) z[static_cast<size_t>(y)] = 1.0;
+  std::vector<double> h = HiddenProbs(x, z);  // Mean-field h | v, z (Eq. 25).
+  std::vector<double> xr = VisibleProbs(h);   // Eq. 23.
+  std::vector<double> zr = ClassReadout(x);   // Eq. 24, read out from v.
+  double sq = 0.0;
+  for (int i = 0; i < params_.visible; ++i) {
+    double d = x[static_cast<size_t>(i)] - xr[static_cast<size_t>(i)];
+    sq += d * d;
+  }
+  for (int k = 0; k < params_.classes; ++k) {
+    double d = z[static_cast<size_t>(k)] - zr[static_cast<size_t>(k)];
+    sq += d * d;
+  }
+  // Eq. 26 with a 1/sqrt(V+Z) normalization for a bounded signal.
+  return std::sqrt(sq) /
+         std::sqrt(static_cast<double>(params_.visible + params_.classes));
+}
+
+std::vector<double> Rbm::ClassifyProbs(const std::vector<double>& x) const {
+  // Free-energy discriminative read-out:
+  //   log P(y|x) ∝ c_y + sum_j softplus(b_j + W_.j x + u_jy).
+  std::vector<double> base(static_cast<size_t>(params_.hidden));
+  for (int j = 0; j < params_.hidden; ++j) {
+    double act = b_[static_cast<size_t>(j)];
+    for (int i = 0; i < params_.visible; ++i) {
+      act += x[static_cast<size_t>(i)] * Wc(i, j);
+    }
+    base[static_cast<size_t>(j)] = act;
+  }
+  std::vector<double> logits(static_cast<size_t>(params_.classes));
+  double max_logit = -1e300;
+  for (int k = 0; k < params_.classes; ++k) {
+    double l = c_[static_cast<size_t>(k)];
+    for (int j = 0; j < params_.hidden; ++j) {
+      l += Softplus(base[static_cast<size_t>(j)] + Uc(j, k));
+    }
+    logits[static_cast<size_t>(k)] = l;
+    if (l > max_logit) max_logit = l;
+  }
+  double total = 0.0;
+  for (double& l : logits) {
+    l = std::exp(l - max_logit);
+    total += l;
+  }
+  for (double& l : logits) l /= total;
+  return logits;
+}
+
+double Rbm::Energy(const std::vector<double>& v, const std::vector<double>& h,
+                   const std::vector<double>& z) const {
+  double e = 0.0;
+  for (int i = 0; i < params_.visible; ++i) {
+    e -= v[static_cast<size_t>(i)] * a_[static_cast<size_t>(i)];
+  }
+  for (int j = 0; j < params_.hidden; ++j) {
+    e -= h[static_cast<size_t>(j)] * b_[static_cast<size_t>(j)];
+  }
+  for (int k = 0; k < params_.classes; ++k) {
+    e -= z[static_cast<size_t>(k)] * c_[static_cast<size_t>(k)];
+  }
+  for (int i = 0; i < params_.visible; ++i) {
+    for (int j = 0; j < params_.hidden; ++j) {
+      e -= v[static_cast<size_t>(i)] * h[static_cast<size_t>(j)] * Wc(i, j);
+    }
+  }
+  for (int j = 0; j < params_.hidden; ++j) {
+    for (int k = 0; k < params_.classes; ++k) {
+      e -= h[static_cast<size_t>(j)] * z[static_cast<size_t>(k)] * Uc(j, k);
+    }
+  }
+  return e;
+}
+
+}  // namespace ccd

@@ -1,0 +1,114 @@
+#ifndef CCD_CORE_RBM_H_
+#define CCD_CORE_RBM_H_
+
+#include <vector>
+
+#include "stream/instance.h"
+#include "utils/rng.h"
+
+namespace ccd {
+
+/// Skew-insensitive three-layer Restricted Boltzmann Machine (Sec. V-A of
+/// the paper): a visible layer v of V unit-interval units, a hidden layer h
+/// of H binary units, and a class layer z of Z softmax units, with weights
+/// W (V x H) between v and h and U (H x Z) between h and z, plus biases
+/// a, b, c (Eq. 8).
+///
+/// Training is mini-batch Contrastive Divergence with k Gibbs steps
+/// (Eq. 16-21). Skew-insensitivity follows the class-balanced loss of Cui
+/// et al. (CVPR 2019): each instance's gradient contribution is scaled by
+/// (1-beta) / (1-beta^{n_y}) where n_y is the (decayed) number of samples
+/// of its class seen so far (Eq. 13) — minority instances weigh more, so
+/// the model represents all classes even under extreme imbalance.
+///
+/// Features fed to the RBM must already be scaled to [0,1] (see
+/// MinMaxNormalizer); RBM-IM does this internally.
+class Rbm {
+ public:
+  struct Params {
+    int visible = 0;
+    int hidden = 0;
+    int classes = 0;
+    double learning_rate = 0.05;   ///< η in Eq. 17.
+    /// Learning rate of the additional discriminative step on (U, c): after
+    /// each CD update the class layer is nudged along the gradient of
+    /// -log P(y | v) so that the softmax read-out tracks p(y|x). Without
+    /// it, generative CD alone leaves the class layer too flat for the
+    /// label-reconstruction part of Eq. 26 to carry signal. 0 disables.
+    double discriminative_rate = 0.1;
+    int cd_steps = 1;              ///< k of CD-k.
+    double weight_init_sigma = 0.01;
+    bool class_balanced = true;    ///< Enable Eq. 13 weighting (ablatable).
+    double beta = 0.999;           ///< Effective-number-of-samples base.
+    double count_decay = 0.9999;   ///< Forgetting factor for class counts.
+  };
+
+  Rbm(const Params& params, uint64_t seed);
+
+  /// One CD-k update from a mini-batch (Eq. 15-21). Instances' features
+  /// must be in [0,1]; labels in [0, classes).
+  void TrainBatch(const std::vector<Instance>& batch);
+
+  /// Per-class activation probabilities of h given clamped v and z
+  /// (Eq. 10).
+  std::vector<double> HiddenProbs(const std::vector<double>& v,
+                                  const std::vector<double>& z) const;
+  /// P(v_i = 1 | h), Eq. 11.
+  std::vector<double> VisibleProbs(const std::vector<double>& h) const;
+  /// Hidden activations driven by the visible layer only (class input 0);
+  /// the encoding used for the label read-out.
+  std::vector<double> HiddenFromVisible(const std::vector<double>& v) const;
+  /// Softmax label read-out from the visible layer: P(z | h(v)) — the
+  /// "class layer activated to reconstruct the class label" of Sec. V-B.
+  std::vector<double> ClassReadout(const std::vector<double>& v) const;
+  /// Softmax class activations given h, Eq. 12.
+  std::vector<double> ClassProbs(const std::vector<double>& h) const;
+
+  /// Reconstruction error R(S_n^m) of Eq. 26, normalized by sqrt(V + Z)
+  /// into [0,1] so downstream change detection sees a bounded signal. The
+  /// feature part reconstructs x~ through the label-clamped pass (Eq. 25,
+  /// 23); the label part y~ is the ClassReadout from v alone — clamping y
+  /// into the class layer would merely echo the label back and hide
+  /// changes of p(y|x) (virtual-vs-real drift would be indistinguishable).
+  double ReconstructionError(const std::vector<double>& x, int y) const;
+
+  /// Discriminative use of the class layer: P(y | x) via free energy
+  /// (softmax over c_y + sum_j softplus(b_j + W_j.x + u_jy)). Lets the RBM
+  /// double as a classifier and is exercised by tests.
+  std::vector<double> ClassifyProbs(const std::vector<double>& x) const;
+
+  /// Class-balanced gradient weight of class y (Eq. 13 coefficient,
+  /// normalized so the average over observed classes is ~1).
+  double ClassWeight(int y) const;
+
+  /// Energy E(v, h, z) of Eq. 8 (used by invariant tests).
+  double Energy(const std::vector<double>& v, const std::vector<double>& h,
+                const std::vector<double>& z) const;
+
+  const Params& params() const { return params_; }
+  /// Decayed observation count of class y.
+  double class_count(int y) const { return class_counts_[static_cast<size_t>(y)]; }
+
+ private:
+  double& W(int i, int j) { return w_[static_cast<size_t>(i) * params_.hidden + j]; }
+  double Wc(int i, int j) const {
+    return w_[static_cast<size_t>(i) * params_.hidden + j];
+  }
+  double& U(int j, int k) { return u_[static_cast<size_t>(j) * params_.classes + k]; }
+  double Uc(int j, int k) const {
+    return u_[static_cast<size_t>(j) * params_.classes + k];
+  }
+
+  Params params_;
+  Rng rng_;
+  std::vector<double> w_;  ///< V x H.
+  std::vector<double> u_;  ///< H x Z.
+  std::vector<double> a_;  ///< Visible biases.
+  std::vector<double> b_;  ///< Hidden biases.
+  std::vector<double> c_;  ///< Class biases.
+  std::vector<double> class_counts_;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_CORE_RBM_H_

@@ -1,0 +1,252 @@
+#include "core/rbm_im.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/granger.h"
+
+namespace ccd {
+
+double RbmIm::EwmaBaseline::StdDev() const { return std::sqrt(var); }
+
+RbmIm::RbmIm(const Params& params, uint64_t seed)
+    : params_(params), seed_(seed), normalizer_(params.num_features) {
+  Reset();
+}
+
+void RbmIm::Reset() {
+  Rbm::Params rp;
+  rp.visible = params_.num_features;
+  rp.hidden = std::max(4, static_cast<int>(params_.hidden_ratio *
+                                           params_.num_features));
+  rp.classes = params_.num_classes;
+  rp.learning_rate = params_.learning_rate;
+  rp.cd_steps = params_.cd_steps;
+  rp.class_balanced = params_.class_balanced;
+  rp.beta = params_.beta;
+  rbm_ = std::make_unique<Rbm>(rp, seed_);
+  normalizer_ = MinMaxNormalizer(params_.num_features);
+  pending_.clear();
+  monitors_.clear();
+  monitors_.resize(static_cast<size_t>(params_.num_classes));
+  for (auto& m : monitors_) {
+    Adwin::Params ap;
+    ap.delta = params_.adwin_delta;
+    ap.min_window = params_.min_batches;
+    ap.check_interval = 1;
+    m.adwin = std::make_unique<Adwin>(ap);
+    m.trend = std::make_unique<SlidingTrend>(
+        static_cast<size_t>(params_.trend_window_max));
+  }
+  state_ = DetectorState::kStable;
+  drifted_.clear();
+  batches_ = 0;
+}
+
+void RbmIm::ResetMonitor(ClassMonitor* m) {
+  // Keep `recent`: the pooled instances describe the *new* concept as soon
+  // as fresh data arrives and stale entries rotate out quickly.
+  m->adwin->Reset();
+  m->trend->Reset();
+  m->trend_history.clear();
+  m->slope_stats.Reset();
+  m->baseline = EwmaBaseline();
+  m->cusum = 0.0;
+  m->batches_seen = 0;
+  m->last_z = 0.0;
+}
+
+double RbmIm::last_reconstruction(int k) const {
+  return monitors_[static_cast<size_t>(k)].last_r;
+}
+
+double RbmIm::trend_slope(int k) const {
+  return monitors_[static_cast<size_t>(k)].trend->Slope();
+}
+
+double RbmIm::last_z(int k) const {
+  return monitors_[static_cast<size_t>(k)].last_z;
+}
+
+void RbmIm::Observe(const Instance& instance, int /*predicted*/,
+                    const std::vector<double>& /*scores*/) {
+  // A drift signal is sticky for exactly one observation.
+  if (state_ == DetectorState::kDrift) {
+    state_ = DetectorState::kStable;
+    drifted_.clear();
+  }
+  Instance normalized(normalizer_.ObserveTransform(instance.features),
+                      instance.label, instance.weight);
+  pending_.push_back(std::move(normalized));
+  if (pending_.size() >= static_cast<size_t>(params_.batch_size)) {
+    ProcessBatch();
+    pending_.clear();
+  }
+}
+
+void RbmIm::ProcessBatch() {
+  ++batches_;
+  const bool warm = batches_ <= static_cast<uint64_t>(params_.warmup_batches);
+
+  // ---- Monitor: pool this batch's instances per class, then compute the
+  // per-class mean reconstruction error (Eq. 27) over the pooled recent
+  // instances against the *current* model, before it trains on this batch.
+  // Pooling across batches gives minority classes a low-variance estimate.
+  std::vector<bool> fresh(static_cast<size_t>(params_.num_classes), false);
+  for (const Instance& s : pending_) {
+    if (s.label < 0 || s.label >= params_.num_classes) continue;
+    ClassMonitor& m = monitors_[static_cast<size_t>(s.label)];
+    m.recent.push_back(s.features);
+    while (m.recent.size() > static_cast<size_t>(params_.eval_pool)) {
+      m.recent.pop_front();
+    }
+    fresh[static_cast<size_t>(s.label)] = true;
+  }
+  std::vector<double> r_sum(static_cast<size_t>(params_.num_classes), 0.0);
+  std::vector<int> r_count(static_cast<size_t>(params_.num_classes), 0);
+  if (!warm) {
+    std::vector<int> batch_count(static_cast<size_t>(params_.num_classes), 0);
+    for (const Instance& s : pending_) {
+      if (s.label >= 0 && s.label < params_.num_classes) {
+        ++batch_count[static_cast<size_t>(s.label)];
+      }
+    }
+    for (int k = 0; k < params_.num_classes; ++k) {
+      if (!fresh[static_cast<size_t>(k)]) continue;  // No new data: no verdict.
+      ClassMonitor& m = monitors_[static_cast<size_t>(k)];
+      // Evaluate the newest max(4, batch_count) pooled instances: frequent
+      // classes use exactly this batch's data (undiluted signal); rare
+      // classes borrow a few recent older instances to tame variance.
+      int n_eval = std::max(8, batch_count[static_cast<size_t>(k)]);
+      n_eval = std::min<int>(n_eval, static_cast<int>(m.recent.size()));
+      for (int i = 0; i < n_eval; ++i) {
+        const auto& x = m.recent[m.recent.size() - 1 - static_cast<size_t>(i)];
+        r_sum[static_cast<size_t>(k)] += rbm_->ReconstructionError(x, k);
+      }
+      r_count[static_cast<size_t>(k)] = n_eval;
+    }
+  }
+
+  // ---- Decide: feed monitors and run the per-class drift tests.
+  bool any_drift = false;
+  if (!warm) {
+    for (int k = 0; k < params_.num_classes; ++k) {
+      if (r_count[static_cast<size_t>(k)] == 0) continue;
+      ClassMonitor& m = monitors_[static_cast<size_t>(k)];
+      double r = r_sum[static_cast<size_t>(k)] /
+                 static_cast<double>(r_count[static_cast<size_t>(k)]);
+      m.last_r = r;
+      ++m.batches_seen;
+
+      // Jump-test z-score against the EWMA baseline (before updating it).
+      // The variance floor keeps a freshly warmed (near-constant) baseline
+      // from turning ordinary fluctuations into huge z-scores.
+      double sd = std::max(m.baseline.StdDev(), params_.sigma_floor);
+      m.last_z = m.baseline.n >= params_.min_batches
+                     ? (r - m.baseline.mean) / sd
+                     : 0.0;
+      // Classic one-sided CUSUM on the z-score: stable phases (z ~ 0) drain
+      // it by `slack` per batch, persistent elevation accumulates.
+      m.cusum = std::max(0.0, m.cusum + m.last_z - params_.cusum_slack);
+
+      m.adwin->AddValue(r);
+      // Self-adaptive trend window, driven by ADWIN's current width
+      // (Sec. V-B: "we propose to use a self-adaptive window size [19]").
+      long long w = m.adwin->width();
+      w = std::clamp<long long>(w, params_.trend_window_min,
+                                params_.trend_window_max);
+      m.trend->set_window(static_cast<size_t>(w));
+      m.trend->Push(r);
+
+      double slope = m.trend->Slope();
+      m.trend_history.push_back(slope);
+      size_t cap = 2 * static_cast<size_t>(params_.granger_window);
+      while (m.trend_history.size() > cap) m.trend_history.pop_front();
+
+      bool drifted = false;
+      if (m.batches_seen >= params_.min_batches && DecideDrift(&m)) {
+        any_drift = true;
+        drifted = true;
+        drifted_.push_back(k);
+        ResetMonitor(&m);
+      }
+      if (!drifted) {
+        m.baseline.Add(r, params_.baseline_decay);
+        m.slope_stats.Add(slope);
+      }
+    }
+  }
+  if (any_drift) {
+    state_ = DetectorState::kDrift;
+  }
+
+  // ---- Adapt: online CD-k update with the skew-insensitive loss. After a
+  // detected drift the batch is replayed to accelerate re-alignment.
+  rbm_->TrainBatch(pending_);
+  if (any_drift) {
+    for (int i = 0; i < params_.post_drift_boost; ++i) {
+      rbm_->TrainBatch(pending_);
+    }
+  }
+}
+
+bool RbmIm::JumpTest(ClassMonitor* m) const {
+  if (m->baseline.n < params_.min_batches) return false;
+  return m->last_z > params_.jump_sigmas ||
+         m->cusum > params_.cusum_threshold;
+}
+
+bool RbmIm::TrendTest(ClassMonitor* m) const {
+  // Reconstruction error must actually be deteriorating...
+  bool error_increasing =
+      m->trend->Slope() > 0.0 && m->last_r > m->trend->Mean();
+
+  // ...with a slope that is an outlier of the class's own history...
+  bool slope_outlier = false;
+  if (m->slope_stats.count() >= static_cast<uint64_t>(params_.min_batches)) {
+    double sd = m->slope_stats.StdDev();
+    if (sd > 1e-12) {
+      slope_outlier = (m->trend->Slope() - m->slope_stats.mean()) >
+                      params_.slope_sigmas * sd;
+    }
+  }
+  if (!error_increasing || !slope_outlier) return false;
+
+  // ...and the Granger stage (Sec. V-B) must fail to tie the previous and
+  // current trend windows causally (continuity lost => drift).
+  size_t need = 2 * static_cast<size_t>(params_.granger_window);
+  if (m->trend_history.size() < need) return true;  // Magnitude-only early.
+  std::vector<double> prev(m->trend_history.begin(),
+                           m->trend_history.begin() +
+                               static_cast<long>(params_.granger_window));
+  std::vector<double> cur(m->trend_history.begin() +
+                              static_cast<long>(params_.granger_window),
+                          m->trend_history.end());
+  GrangerResult g = GrangerCausalityFirstDiff(prev, cur, params_.granger_lag,
+                                              params_.granger_alpha);
+  return !g.valid || !g.causality_rejected;
+}
+
+bool RbmIm::DecideDrift(ClassMonitor* m) {
+  switch (params_.trigger) {
+    case Trigger::kZScore:
+      return JumpTest(m);
+    case Trigger::kAdwinOnly:
+      return m->adwin->state() == DetectorState::kDrift &&
+             m->last_r > m->trend->Mean();
+    case Trigger::kGranger:
+      return TrendTest(m);
+    case Trigger::kCombined:
+      // Jump test catches abrupt mismatches; the trend/Granger path slow
+      // deteriorations; the ADWIN cut sustained mean shifts of R that are
+      // individually too small for either (long gradual transitions).
+      return JumpTest(m) || TrendTest(m) ||
+             (m->adwin->state() == DetectorState::kDrift &&
+              m->last_r > m->baseline.mean +
+                              std::max(m->baseline.StdDev(),
+                                       params_.sigma_floor));
+  }
+  return false;
+}
+
+}  // namespace ccd

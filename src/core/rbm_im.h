@@ -1,0 +1,166 @@
+#ifndef CCD_CORE_RBM_IM_H_
+#define CCD_CORE_RBM_IM_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/rbm.h"
+#include "detectors/adwin.h"
+#include "detectors/detector.h"
+#include "stats/trend.h"
+#include "stats/welford.h"
+#include "stream/normalizer.h"
+
+namespace ccd {
+
+/// RBM-IM — the paper's trainable drift detector for multi-class imbalanced
+/// data streams (Sec. V).
+///
+/// Pipeline per arriving mini-batch M_t (size `batch_size`):
+///   1. *monitor*: for every class m present in the batch, compute the mean
+///      normalized reconstruction error R(M_t^m) against the current RBM
+///      (Eq. 26-27) — new data that no longer matches the stored concept
+///      reconstructs poorly;
+///   2. *decide*: per class, two complementary change tests:
+///        - a *jump* test: R(M_t^m) is compared against an exponentially
+///          weighted baseline of that class's own history; a z-score above
+///          `jump_sigmas` marks an abrupt mismatch (sudden drift);
+///        - a *trend* test: the linear-regression slope of R over a
+///          self-adaptive window (Eq. 28-37, window size from a per-class
+///          ADWIN) feeds a first-difference Granger causality test between
+///          the previous and current trend windows — causality between
+///          consecutive windows means the concept continues; its absence,
+///          with an outlying positive slope, signals slow (gradual /
+///          incremental) drift (Sec. V-B);
+///   3. *adapt*: CD-k train the RBM on the batch with the class-balanced
+///      loss, so the stored concept follows the stream, its imbalance
+///      ratio, and evolving class roles.
+///
+/// `trigger` selects the decision rule for the ablation study: kCombined
+/// (default) ORs the jump and trend tests; kZScore uses only the jump test;
+/// kAdwinOnly replaces both with a plain per-class ADWIN on R (no Granger);
+/// kGranger uses only the trend/Granger path.
+class RbmIm : public DriftDetector {
+ public:
+  enum class Trigger { kCombined, kZScore, kAdwinOnly, kGranger };
+
+  struct Params {
+    int num_features = 0;
+    int num_classes = 0;
+    // Table II grid knobs.
+    int batch_size = 50;        ///< M ∈ {25, 50, 75, 100}.
+    double hidden_ratio = 0.5;  ///< H = ratio * V, ∈ {0.25, 0.5, 0.75, 1}.
+    double learning_rate = 0.05;  ///< η ∈ {0.01, 0.03, 0.05, 0.07}.
+    int cd_steps = 1;           ///< Gibbs k ∈ {1, 2, 3, 4}.
+    // Skew-insensitive loss.
+    bool class_balanced = true;
+    double beta = 0.999;
+    // Drift decision.
+    Trigger trigger = Trigger::kCombined;
+    double jump_sigmas = 4.0;      ///< z threshold of the jump test.
+    /// CUSUM companion of the jump test: the one-sided statistic
+    /// max(0, C + z - cusum_slack) crossing cusum_threshold signals drift.
+    /// Catches the persistent moderate elevation typical of rare classes,
+    /// whose single-batch z stays below jump_sigmas because their R
+    /// estimate is noisy.
+    double cusum_slack = 0.75;
+    double cusum_threshold = 7.0;
+    double baseline_decay = 0.98;  ///< EWMA decay of the per-class baseline.
+    double sigma_floor = 0.01;     ///< Lower bound on the baseline sigma.
+    int granger_window = 8;        ///< L: half-window of trend values tested.
+    int granger_lag = 1;
+    double granger_alpha = 0.05;
+    double slope_sigmas = 3.0;  ///< Trend-magnitude gate (z-score).
+    double adwin_delta = 0.002;
+    int min_batches = 16;       ///< Per-class batches before testing.
+    int warmup_batches = 5;     ///< Paper: first batch(es) only train.
+    int trend_window_min = 4;
+    int trend_window_max = 64;
+    /// Extra CD passes over the batch right after a detected drift, so the
+    /// RBM re-centers on the new concept faster.
+    int post_drift_boost = 2;
+    /// Per-class evaluation pool: R(M_t^m) is averaged over up to this many
+    /// recent instances of class m (Eq. 27 with a cross-batch pool), which
+    /// stabilizes the estimate for rare classes.
+    int eval_pool = 16;
+  };
+
+  RbmIm(const Params& params, uint64_t seed);
+
+  void Observe(const Instance& instance, int predicted,
+               const std::vector<double>& scores) override;
+  DetectorState state() const override { return state_; }
+  void Reset() override;
+  std::string name() const override { return "RBM-IM"; }
+  std::vector<int> drifted_classes() const override { return drifted_; }
+
+  /// Introspection for tests and diagnostics.
+  const Rbm& rbm() const { return *rbm_; }
+  double last_reconstruction(int k) const;
+  double trend_slope(int k) const;
+  /// Jump-test z-score of class k's latest batch (0 until baseline ready).
+  double last_z(int k) const;
+  uint64_t batches_processed() const { return batches_; }
+
+ private:
+  /// Exponentially weighted mean/variance, the per-class R baseline. Unlike
+  /// a plain Welford it follows the slow decline of R while the RBM keeps
+  /// converging, so jumps remain visible at any stream age.
+  struct EwmaBaseline {
+    double mean = 0.0;
+    double var = 0.0;
+    long long n = 0;
+
+    void Add(double x, double decay) {
+      if (n == 0) {
+        mean = x;
+        var = 0.0;
+        n = 1;
+        return;
+      }
+      double d = x - mean;
+      mean += (1.0 - decay) * d;
+      var = decay * (var + (1.0 - decay) * d * d);
+      ++n;
+    }
+    double StdDev() const;
+  };
+
+  struct ClassMonitor {
+    /// Recent instances of this class (normalized), pooled across batches
+    /// so minority classes get a smoothed R estimate instead of a 1-2
+    /// sample one. Re-evaluated against the *current* RBM every time the
+    /// class appears.
+    std::deque<std::vector<double>> recent;
+    std::unique_ptr<Adwin> adwin;
+    std::unique_ptr<SlidingTrend> trend;
+    std::deque<double> trend_history;  ///< Recent Q_r values.
+    Welford slope_stats;               ///< Long-run slope distribution.
+    EwmaBaseline baseline;
+    double cusum = 0.0;
+    double last_r = 0.0;
+    double last_z = 0.0;
+    int batches_seen = 0;
+  };
+
+  void ProcessBatch();
+  bool DecideDrift(ClassMonitor* m);
+  bool JumpTest(ClassMonitor* m) const;
+  bool TrendTest(ClassMonitor* m) const;
+  void ResetMonitor(ClassMonitor* m);
+
+  Params params_;
+  uint64_t seed_;
+  std::unique_ptr<Rbm> rbm_;
+  MinMaxNormalizer normalizer_;
+  std::vector<Instance> pending_;       ///< Current mini-batch buffer.
+  std::vector<ClassMonitor> monitors_;  ///< One per class.
+  DetectorState state_ = DetectorState::kStable;
+  std::vector<int> drifted_;
+  uint64_t batches_ = 0;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_CORE_RBM_IM_H_

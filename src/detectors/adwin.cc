@@ -1,0 +1,106 @@
+#include "detectors/adwin.h"
+
+#include <cmath>
+
+namespace ccd {
+
+void Adwin::Reset() {
+  state_ = DetectorState::kStable;
+  rows_.clear();
+  rows_.emplace_back();
+  total_sum_ = 0.0;
+  total_var_ = 0.0;
+  total_count_ = 0;
+  since_check_ = 0;
+}
+
+void Adwin::AddValue(double value) {
+  state_ = DetectorState::kStable;
+  // New observations enter row 0 as singleton buckets.
+  Bucket b;
+  b.sum = value;
+  b.count = 1;
+  rows_[0].push_front(b);
+  if (total_count_ > 0) {
+    double mean = total_sum_ / static_cast<double>(total_count_);
+    total_var_ += (value - mean) * (value - mean) * total_count_ /
+                  static_cast<double>(total_count_ + 1);
+  }
+  total_sum_ += value;
+  ++total_count_;
+  Compress();
+
+  if (++since_check_ >= params_.check_interval &&
+      total_count_ >= params_.min_window) {
+    since_check_ = 0;
+    bool cut = false;
+    while (DetectCut()) cut = true;
+    if (cut) state_ = DetectorState::kDrift;
+  }
+}
+
+void Adwin::Compress() {
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (static_cast<int>(rows_[r].size()) <= params_.max_buckets) break;
+    // Merge the two oldest buckets of this row into the next row.
+    if (r + 1 == rows_.size()) rows_.emplace_back();
+    Bucket a = rows_[r].back();
+    rows_[r].pop_back();
+    Bucket b = rows_[r].back();
+    rows_[r].pop_back();
+    Bucket merged;
+    merged.count = a.count + b.count;
+    merged.sum = a.sum + b.sum;
+    double mean_a = a.sum / a.count, mean_b = b.sum / b.count;
+    merged.variance_sum = a.variance_sum + b.variance_sum +
+                          (mean_a - mean_b) * (mean_a - mean_b) * a.count *
+                              b.count / merged.count;
+    rows_[r + 1].push_front(merged);
+  }
+}
+
+bool Adwin::DetectCut() {
+  if (total_count_ < params_.min_window) return false;
+  // Scan split points from oldest to newest: W = W0 (old) + W1 (new).
+  double sum0 = 0.0;
+  long long n0 = 0;
+  double variance =
+      total_count_ > 1 ? total_var_ / static_cast<double>(total_count_) : 0.0;
+  double delta_prime =
+      params_.delta / std::log(static_cast<double>(total_count_) + 1.0);
+
+  for (size_t r = rows_.size(); r-- > 0;) {
+    for (size_t i = rows_[r].size(); i-- > 0;) {
+      const Bucket& b = rows_[r][i];
+      sum0 += b.sum;
+      n0 += b.count;
+      long long n1 = total_count_ - n0;
+      if (n0 < 1 || n1 < 1) continue;
+      double mean0 = sum0 / static_cast<double>(n0);
+      double mean1 = (total_sum_ - sum0) / static_cast<double>(n1);
+      double m = 1.0 / (1.0 / static_cast<double>(n0) +
+                        1.0 / static_cast<double>(n1));
+      double ln_term = std::log(2.0 / delta_prime);
+      double eps = std::sqrt(2.0 / m * variance * ln_term) +
+                   2.0 / (3.0 * m) * ln_term;
+      if (std::fabs(mean0 - mean1) > eps) {
+        // Drop the oldest bucket (shrink the window) and report the cut.
+        size_t oldest_row = rows_.size();
+        while (oldest_row-- > 0) {
+          if (!rows_[oldest_row].empty()) break;
+        }
+        const Bucket& drop = rows_[oldest_row].back();
+        total_sum_ -= drop.sum;
+        total_count_ -= drop.count;
+        total_var_ = total_var_ > drop.variance_sum
+                         ? total_var_ - drop.variance_sum
+                         : 0.0;
+        rows_[oldest_row].pop_back();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ccd

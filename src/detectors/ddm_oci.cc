@@ -1,0 +1,67 @@
+#include "detectors/ddm_oci.h"
+
+#include <cmath>
+
+namespace ccd {
+
+void DdmOci::Reset() {
+  state_ = DetectorState::kStable;
+  size_t k = static_cast<size_t>(params_.num_classes);
+  recall_.assign(k, 1.0);
+  recall_max_.assign(k, 0.0);
+  sigma_max_.assign(k, 0.0);
+  count_.assign(k, 0);
+  violations_.assign(k, 0);
+  drifted_.clear();
+}
+
+void DdmOci::Observe(const Instance& instance, int predicted,
+                     const std::vector<double>& /*scores*/) {
+  if (state_ == DetectorState::kDrift) {
+    // Re-arm only the tripped classes; the others keep their statistics
+    // (the drift was local to the flagged classes).
+    for (int k : drifted_) {
+      recall_[static_cast<size_t>(k)] = 1.0;
+      recall_max_[static_cast<size_t>(k)] = 0.0;
+      sigma_max_[static_cast<size_t>(k)] = 0.0;
+      count_[static_cast<size_t>(k)] = 0;
+      violations_[static_cast<size_t>(k)] = 0;
+    }
+    drifted_.clear();
+    state_ = DetectorState::kStable;
+  }
+
+  int y = instance.label;
+  if (y < 0 || y >= params_.num_classes) return;
+  size_t yk = static_cast<size_t>(y);
+  double correct = predicted == y ? 1.0 : 0.0;
+  recall_[yk] = params_.decay * recall_[yk] + (1.0 - params_.decay) * correct;
+  ++count_[yk];
+  if (count_[yk] < params_.min_class_count) return;
+
+  double n = static_cast<double>(count_[yk]);
+  double sigma = std::sqrt(recall_[yk] * (1.0 - recall_[yk]) / n);
+  recall_max_[yk] *= params_.max_decay;
+  if (recall_[yk] >= recall_max_[yk]) {
+    recall_max_[yk] = recall_[yk];
+    sigma_max_[yk] = sigma;
+  }
+  double baseline = recall_max_[yk] - sigma_max_[yk];
+  if (baseline <= 0.0) return;
+
+  if (recall_[yk] + sigma < params_.drift_threshold * baseline) {
+    if (++violations_[yk] >= params_.consecutive_violations) {
+      state_ = DetectorState::kDrift;
+      drifted_.push_back(y);
+      violations_[yk] = 0;
+    }
+  } else {
+    violations_[yk] = 0;
+    if (recall_[yk] + sigma < params_.warning_threshold * baseline &&
+        state_ == DetectorState::kStable) {
+      state_ = DetectorState::kWarning;
+    }
+  }
+}
+
+}  // namespace ccd

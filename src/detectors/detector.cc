@@ -1,0 +1,17 @@
+#include "detectors/detector.h"
+
+namespace ccd {
+
+const char* DetectorStateName(DetectorState s) {
+  switch (s) {
+    case DetectorState::kStable:
+      return "stable";
+    case DetectorState::kWarning:
+      return "warning";
+    case DetectorState::kDrift:
+      return "drift";
+  }
+  return "?";
+}
+
+}  // namespace ccd

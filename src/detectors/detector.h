@@ -1,0 +1,67 @@
+#ifndef CCD_DETECTORS_DETECTOR_H_
+#define CCD_DETECTORS_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/instance.h"
+
+namespace ccd {
+
+/// Detector status after the most recent observation.
+enum class DetectorState {
+  kStable,
+  kWarning,
+  kDrift,
+};
+
+const char* DetectorStateName(DetectorState s);
+
+/// Common interface of all concept drift detectors.
+///
+/// Detectors are driven prequentially: for every stream instance the harness
+/// calls Observe() with the true instance, the classifier's predicted label
+/// and its per-class scores *before* the classifier trains on the instance.
+/// Statistical detectors only use the implied error indicator; detectors
+/// designed for imbalanced streams (PerfSim, DDM-OCI, RBM-IM) use the label
+/// structure; the trainable RBM-IM uses the full feature vector.
+class DriftDetector {
+ public:
+  virtual ~DriftDetector() = default;
+
+  virtual void Observe(const Instance& instance, int predicted,
+                       const std::vector<double>& scores) = 0;
+
+  /// State resulting from the latest Observe() call. A drift signal is
+  /// sticky for exactly one observation; detectors re-arm themselves.
+  virtual DetectorState state() const = 0;
+
+  /// Clears all adaptive statistics (new concept assumed).
+  virtual void Reset() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Classes implicated in the latest drift signal; empty for detectors
+  /// that only monitor the global stream (the paper's key distinction —
+  /// only per-class monitors can explain *local* drift).
+  virtual std::vector<int> drifted_classes() const { return {}; }
+};
+
+/// Convenience base for detectors that monitor the binary error indicator
+/// of the classifier. Subclasses implement AddError(); Observe() derives
+/// the indicator. AddError is public so unit tests can drive detectors with
+/// synthetic Bernoulli error streams directly.
+class ErrorRateDetector : public DriftDetector {
+ public:
+  void Observe(const Instance& instance, int predicted,
+               const std::vector<double>& /*scores*/) override {
+    AddError(predicted != instance.label);
+  }
+
+  /// Feeds one error indicator (true = misclassified).
+  virtual void AddError(bool error) = 0;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_DETECTORS_DETECTOR_H_

@@ -1,0 +1,36 @@
+#include "detectors/fhddm.h"
+
+#include <cmath>
+
+namespace ccd {
+
+void Fhddm::Reset() {
+  state_ = DetectorState::kStable;
+  window_.clear();
+  correct_ = 0;
+  p_max_ = 0.0;
+  epsilon_ = std::sqrt(std::log(1.0 / params_.delta) /
+                       (2.0 * static_cast<double>(params_.window_size)));
+}
+
+void Fhddm::AddError(bool error) {
+  if (state_ == DetectorState::kDrift) Reset();
+
+  bool correct = !error;
+  window_.push_back(correct);
+  if (correct) ++correct_;
+  if (static_cast<int>(window_.size()) > params_.window_size) {
+    if (window_.front()) --correct_;
+    window_.pop_front();
+  }
+  if (static_cast<int>(window_.size()) < params_.window_size) {
+    state_ = DetectorState::kStable;
+    return;
+  }
+  double p = static_cast<double>(correct_) / params_.window_size;
+  if (p > p_max_) p_max_ = p;
+  state_ = (p_max_ - p > epsilon_) ? DetectorState::kDrift
+                                   : DetectorState::kStable;
+}
+
+}  // namespace ccd

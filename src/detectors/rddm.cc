@@ -1,0 +1,94 @@
+#include "detectors/rddm.h"
+
+#include <cmath>
+
+namespace ccd {
+
+void Rddm::Reset() {
+  state_ = DetectorState::kStable;
+  SoftReset();
+  recent_.assign(static_cast<size_t>(params_.min_instances), false);
+  recent_pos_ = 0;
+  recent_full_ = false;
+}
+
+void Rddm::SoftReset() {
+  n_ = 0;
+  errors_ = 0;
+  p_ = 0.0;
+  p_min_ = 1e300;
+  s_min_ = 1e300;
+  warn_count_ = 0;
+}
+
+void Rddm::Push(bool error) {
+  recent_[recent_pos_] = error;
+  recent_pos_ = (recent_pos_ + 1) % recent_.size();
+  if (recent_pos_ == 0) recent_full_ = true;
+}
+
+void Rddm::AddError(bool error) {
+  if (state_ == DetectorState::kDrift) {
+    // Rebuild the statistics from the stored recent window so the detector
+    // restarts already warmed up on the new concept.
+    SoftReset();
+    size_t count = recent_full_ ? recent_.size() : recent_pos_;
+    size_t start = recent_full_ ? recent_pos_ : 0;
+    long long replay_n = 0;
+    double replay_p = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      bool e = recent_[(start + i) % recent_.size()];
+      ++replay_n;
+      replay_p += (static_cast<double>(e) - replay_p) / replay_n;
+    }
+    n_ = replay_n;
+    p_ = replay_p;
+    state_ = DetectorState::kStable;
+  }
+
+  Push(error);
+  ++n_;
+  if (error) ++errors_;
+  p_ += (static_cast<double>(error) - p_) / static_cast<double>(n_);
+
+  // Stale-history pruning: restart statistics from the recent window.
+  if (n_ > params_.max_instances) {
+    double keep_p_min = p_min_, keep_s_min = s_min_;
+    SoftReset();
+    size_t count = recent_full_ ? recent_.size() : recent_pos_;
+    size_t start = recent_full_ ? recent_pos_ : 0;
+    for (size_t i = 0; i < count; ++i) {
+      bool e = recent_[(start + i) % recent_.size()];
+      ++n_;
+      p_ += (static_cast<double>(e) - p_) / static_cast<double>(n_);
+    }
+    p_min_ = keep_p_min;
+    s_min_ = keep_s_min;
+  }
+
+  if (errors_ < params_.min_errors) {
+    state_ = DetectorState::kStable;
+    return;
+  }
+  double s = std::sqrt(p_ * (1.0 - p_) / static_cast<double>(n_));
+  if (p_ + s <= p_min_ + s_min_) {
+    p_min_ = p_;
+    s_min_ = s;
+  }
+  if (p_ + s > p_min_ + params_.drift_level * s_min_) {
+    state_ = DetectorState::kDrift;
+    return;
+  }
+  if (p_ + s > p_min_ + params_.warning_level * s_min_) {
+    state_ = DetectorState::kWarning;
+    if (++warn_count_ > params_.warn_limit) {
+      state_ = DetectorState::kDrift;
+      warn_count_ = 0;
+    }
+  } else {
+    state_ = DetectorState::kStable;
+    warn_count_ = 0;
+  }
+}
+
+}  // namespace ccd

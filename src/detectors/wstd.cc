@@ -1,0 +1,50 @@
+#include "detectors/wstd.h"
+
+#include <vector>
+
+#include "stats/wilcoxon.h"
+
+namespace ccd {
+
+void Wstd::Reset() {
+  state_ = DetectorState::kStable;
+  history_.clear();
+  since_check_ = 0;
+}
+
+void Wstd::AddError(bool error) {
+  if (state_ == DetectorState::kDrift) Reset();
+
+  history_.push_back(error ? 1.0 : 0.0);
+  size_t cap = static_cast<size_t>(params_.max_old_instances) +
+               static_cast<size_t>(params_.window_size);
+  while (history_.size() > cap) history_.pop_front();
+
+  if (history_.size() <
+      static_cast<size_t>(2 * params_.window_size)) {
+    state_ = DetectorState::kStable;
+    return;
+  }
+  if (++since_check_ < params_.check_interval) return;
+  since_check_ = 0;
+
+  size_t recent_begin = history_.size() - static_cast<size_t>(params_.window_size);
+  std::vector<double> older(history_.begin(),
+                            history_.begin() + static_cast<long>(recent_begin));
+  std::vector<double> recent(history_.begin() + static_cast<long>(recent_begin),
+                             history_.end());
+  RankTestResult r = WilcoxonRankSum(older, recent);
+  if (!r.valid) {
+    state_ = DetectorState::kStable;
+    return;
+  }
+  if (r.p_value < params_.drift_significance) {
+    state_ = DetectorState::kDrift;
+  } else if (r.p_value < params_.warning_significance) {
+    state_ = DetectorState::kWarning;
+  } else {
+    state_ = DetectorState::kStable;
+  }
+}
+
+}  // namespace ccd

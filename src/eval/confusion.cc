@@ -1,0 +1,72 @@
+#include "eval/confusion.h"
+
+#include <cmath>
+
+namespace ccd {
+
+double ConfusionMatrix::RowTotal(int k) const {
+  double s = 0.0;
+  for (int j = 0; j < k_; ++j) s += cell(k, j);
+  return s;
+}
+
+double ConfusionMatrix::ColTotal(int k) const {
+  double s = 0.0;
+  for (int i = 0; i < k_; ++i) s += cell(i, k);
+  return s;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ <= 0.0) return 0.0;
+  double correct = 0.0;
+  for (int i = 0; i < k_; ++i) correct += cell(i, i);
+  return correct / total_;
+}
+
+double ConfusionMatrix::Recall(int k, double fallback) const {
+  double row = RowTotal(k);
+  if (row <= 0.0) return fallback;
+  return cell(k, k) / row;
+}
+
+double ConfusionMatrix::GMean() const {
+  double log_sum = 0.0;
+  int present = 0;
+  for (int k = 0; k < k_; ++k) {
+    double row = RowTotal(k);
+    if (row <= 0.0) continue;
+    ++present;
+    double recall = cell(k, k) / row;
+    if (recall <= 0.0) return 0.0;
+    log_sum += std::log(recall);
+  }
+  if (present == 0) return 0.0;
+  return std::exp(log_sum / present);
+}
+
+double ConfusionMatrix::GMeanSmoothed(double alpha) const {
+  double log_sum = 0.0;
+  int present = 0;
+  for (int k = 0; k < k_; ++k) {
+    double row = RowTotal(k);
+    if (row <= 0.0) continue;
+    ++present;
+    double recall = (cell(k, k) + alpha) / (row + 2.0 * alpha);
+    log_sum += std::log(recall);
+  }
+  if (present == 0) return 0.0;
+  return std::exp(log_sum / present);
+}
+
+double ConfusionMatrix::Kappa() const {
+  if (total_ <= 0.0) return 0.0;
+  double po = Accuracy();
+  double pe = 0.0;
+  for (int k = 0; k < k_; ++k) {
+    pe += (RowTotal(k) / total_) * (ColTotal(k) / total_);
+  }
+  if (pe >= 1.0) return 0.0;
+  return (po - pe) / (1.0 - pe);
+}
+
+}  // namespace ccd

@@ -1,0 +1,81 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace ccd {
+
+double BinaryAuc(const std::vector<double>& positive_scores,
+                 const std::vector<double>& negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) return 0.5;
+  // Pool, sort, midrank; AUC = (rank_sum_pos - n_pos(n_pos+1)/2) / (n_pos*n_neg).
+  std::vector<std::pair<double, int>> pooled;
+  pooled.reserve(positive_scores.size() + negative_scores.size());
+  for (double s : positive_scores) pooled.emplace_back(s, 1);
+  for (double s : negative_scores) pooled.emplace_back(s, 0);
+  std::sort(pooled.begin(), pooled.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < pooled.size()) {
+    size_t j = i;
+    while (j + 1 < pooled.size() && pooled[j + 1].first == pooled[i].first) ++j;
+    double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t m = i; m <= j; ++m) {
+      if (pooled[m].second == 1) rank_sum_pos += midrank;
+    }
+    i = j + 1;
+  }
+  double np = static_cast<double>(positive_scores.size());
+  double nn = static_cast<double>(negative_scores.size());
+  return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+void WindowedMetrics::Add(int truth, int predicted,
+                          const std::vector<double>& scores) {
+  entries_.push_back({truth, predicted, scores});
+  confusion_.Add(truth, predicted);
+  if (static_cast<int>(entries_.size()) > window_) {
+    const Entry& old = entries_.front();
+    confusion_.Remove(old.truth, old.predicted);
+    entries_.pop_front();
+  }
+}
+
+double WindowedMetrics::PmAuc() const {
+  // Bucket window entries per true class once.
+  std::vector<std::vector<const Entry*>> by_class(
+      static_cast<size_t>(num_classes_));
+  for (const Entry& e : entries_) {
+    if (e.truth >= 0 && e.truth < num_classes_) {
+      by_class[static_cast<size_t>(e.truth)].push_back(&e);
+    }
+  }
+  double auc_sum = 0.0;
+  int pairs = 0;
+  for (int i = 0; i < num_classes_; ++i) {
+    if (by_class[static_cast<size_t>(i)].empty()) continue;
+    for (int j = i + 1; j < num_classes_; ++j) {
+      if (by_class[static_cast<size_t>(j)].empty()) continue;
+      // One-vs-one AUC between classes i (positive) and j (negative),
+      // scoring each instance by its normalized support for class i.
+      std::vector<double> pos, neg;
+      auto score_ratio = [&](const Entry* e) {
+        double si = e->scores[static_cast<size_t>(i)];
+        double sj = e->scores[static_cast<size_t>(j)];
+        double denom = si + sj;
+        return denom > 0.0 ? si / denom : 0.5;
+      };
+      for (const Entry* e : by_class[static_cast<size_t>(i)]) {
+        pos.push_back(score_ratio(e));
+      }
+      for (const Entry* e : by_class[static_cast<size_t>(j)]) {
+        neg.push_back(score_ratio(e));
+      }
+      auc_sum += BinaryAuc(pos, neg);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? auc_sum / pairs : 0.5;
+}
+
+}  // namespace ccd

@@ -1,0 +1,62 @@
+#ifndef CCD_EVAL_METRICS_H_
+#define CCD_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "eval/confusion.h"
+
+namespace ccd {
+
+/// Sliding-window prequential metrics for multi-class imbalanced streams:
+/// pmAUC (prequential multi-class AUC, the windowed one-vs-one average AUC
+/// of Wang & Minku) and pmGM (windowed geometric mean of class recalls),
+/// plus accuracy and Cohen's kappa. The paper evaluates with window
+/// W = 1000.
+class WindowedMetrics {
+ public:
+  WindowedMetrics(int num_classes, int window = 1000)
+      : num_classes_(num_classes), window_(window), confusion_(num_classes) {}
+
+  /// Records one prequential outcome (scores are the classifier's
+  /// normalized per-class supports for the instance).
+  void Add(int truth, int predicted, const std::vector<double>& scores);
+
+  /// pmAUC over the current window: mean over ordered class pairs (i < j),
+  /// restricted to pairs with at least one instance of each class, of the
+  /// pairwise AUC computed from normalized score ratios. O(W log W) — call
+  /// at a sampling interval, not per instance.
+  double PmAuc() const;
+
+  /// pmGM over the current window (Laplace-smoothed recalls; see
+  /// ConfusionMatrix::GMeanSmoothed for why).
+  double PmGMean() const { return confusion_.GMeanSmoothed(); }
+  double Accuracy() const { return confusion_.Accuracy(); }
+  double Kappa() const { return confusion_.Kappa(); }
+
+  size_t size() const { return entries_.size(); }
+  const ConfusionMatrix& confusion() const { return confusion_; }
+
+ private:
+  struct Entry {
+    int truth;
+    int predicted;
+    std::vector<double> scores;
+  };
+
+  int num_classes_;
+  int window_;
+  std::deque<Entry> entries_;
+  ConfusionMatrix confusion_;
+};
+
+/// AUC of binary scores-vs-labels via the rank-sum estimator (midranks for
+/// ties). `positive_scores` are scores of true positives; `negative_scores`
+/// of true negatives. Returns 0.5 when either side is empty.
+double BinaryAuc(const std::vector<double>& positive_scores,
+                 const std::vector<double>& negative_scores);
+
+}  // namespace ccd
+
+#endif  // CCD_EVAL_METRICS_H_

@@ -1,0 +1,95 @@
+#include "eval/prequential.h"
+
+#include <chrono>
+
+#include "eval/metrics.h"
+
+namespace ccd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+PrequentialResult RunPrequential(InstanceStream* stream,
+                                 OnlineClassifier* classifier,
+                                 DriftDetector* detector,
+                                 const PrequentialConfig& config) {
+  PrequentialResult result;
+  const StreamSchema& schema = stream->schema();
+  WindowedMetrics metrics(schema.num_classes, config.metric_window);
+
+  double sum_pmauc = 0.0, sum_pmgm = 0.0, sum_acc = 0.0, sum_kappa = 0.0;
+  uint64_t samples = 0;
+
+  for (uint64_t i = 0; i < config.max_instances; ++i) {
+    Instance instance = stream->Next();
+    ++result.instances;
+
+    if (i < config.warmup) {
+      classifier->Train(instance);
+      // Let trainable detectors see warmup data too (the paper trains
+      // RBM-IM on the first batches before monitoring).
+      if (detector != nullptr) {
+        detector->Observe(instance, instance.label, {});
+      }
+      continue;
+    }
+
+    std::vector<double> scores = classifier->PredictScores(instance);
+    int predicted = 0;
+    for (size_t c = 1; c < scores.size(); ++c) {
+      if (scores[c] > scores[predicted]) predicted = static_cast<int>(c);
+    }
+    metrics.Add(instance.label, predicted, scores);
+
+    if (detector != nullptr) {
+      if (config.timing) {
+        auto t0 = Clock::now();
+        detector->Observe(instance, predicted, scores);
+        result.detector_seconds += Seconds(t0, Clock::now());
+      } else {
+        detector->Observe(instance, predicted, scores);
+      }
+      if (detector->state() == DetectorState::kDrift) {
+        ++result.drifts;
+        result.drift_positions.push_back(i);
+        if (config.reset_on_drift) classifier->Reset();
+      }
+    }
+
+    if (config.timing) {
+      auto t0 = Clock::now();
+      classifier->Train(instance);
+      result.classifier_seconds += Seconds(t0, Clock::now());
+    } else {
+      classifier->Train(instance);
+    }
+
+    if ((i - config.warmup) % static_cast<uint64_t>(config.eval_interval) ==
+            0 &&
+        metrics.size() >= 50) {
+      double pmauc = metrics.PmAuc();
+      sum_pmauc += pmauc;
+      sum_pmgm += metrics.PmGMean();
+      sum_acc += metrics.Accuracy();
+      sum_kappa += metrics.Kappa();
+      ++samples;
+      result.pmauc_series.emplace_back(i, pmauc);
+    }
+  }
+
+  if (samples > 0) {
+    result.mean_pmauc = sum_pmauc / samples;
+    result.mean_pmgm = sum_pmgm / samples;
+    result.mean_accuracy = sum_acc / samples;
+    result.mean_kappa = sum_kappa / samples;
+  }
+  return result;
+}
+
+}  // namespace ccd

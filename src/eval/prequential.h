@@ -1,0 +1,52 @@
+#ifndef CCD_EVAL_PREQUENTIAL_H_
+#define CCD_EVAL_PREQUENTIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "classifiers/classifier.h"
+#include "detectors/detector.h"
+#include "stream/stream.h"
+
+namespace ccd {
+
+/// Configuration of a prequential (test-then-train) evaluation run.
+struct PrequentialConfig {
+  uint64_t max_instances = 100000;
+  int metric_window = 1000;   ///< W for pmAUC / pmGM (paper: 1000).
+  int eval_interval = 250;    ///< Sample the windowed metrics every N inst.
+  uint64_t warmup = 500;      ///< Train-only prefix (no metrics, no drift).
+  bool reset_on_drift = true; ///< Reset the classifier when drift fires.
+  bool timing = true;         ///< Measure detector/classifier wall time.
+};
+
+/// Aggregate outcome of a run.
+struct PrequentialResult {
+  double mean_pmauc = 0.0;   ///< Mean of windowed pmAUC samples, in [0,1].
+  double mean_pmgm = 0.0;
+  double mean_accuracy = 0.0;
+  double mean_kappa = 0.0;
+  uint64_t instances = 0;
+  uint64_t drifts = 0;
+  std::vector<uint64_t> drift_positions;
+  /// (position, pmAUC) samples for plotting metric evolution.
+  std::vector<std::pair<uint64_t, double>> pmauc_series;
+  /// Total seconds spent inside DriftDetector::Observe (the paper's
+  /// "test time") and in classifier Train ("update time" proxy).
+  double detector_seconds = 0.0;
+  double classifier_seconds = 0.0;
+};
+
+/// Runs the prequential protocol: for each instance, predict, feed the
+/// detector, record metrics, then train. When the detector signals drift
+/// (after warmup) the classifier is reset — the paper's coupling for
+/// measuring how detector quality drives classifier recovery. `detector`
+/// may be null (pure classifier baseline).
+PrequentialResult RunPrequential(InstanceStream* stream,
+                                 OnlineClassifier* classifier,
+                                 DriftDetector* detector,
+                                 const PrequentialConfig& config);
+
+}  // namespace ccd
+
+#endif  // CCD_EVAL_PREQUENTIAL_H_

@@ -1,0 +1,44 @@
+#ifndef CCD_EVAL_SELF_TUNING_H_
+#define CCD_EVAL_SELF_TUNING_H_
+
+#include <functional>
+#include <vector>
+
+#include "stats/nelder_mead.h"
+
+namespace ccd {
+
+/// Self hyper-parameter tuning for streaming learners (Veloso, Gama &
+/// Malheiro, DS 2018) — the protocol the paper applies to every detector:
+/// given a parameter vector in a box, minimize (1 - metric) measured by a
+/// short prequential run on a stream prefix with online Nelder-Mead.
+///
+/// `evaluate` must build a fresh (stream, classifier, detector) pipeline
+/// from the parameter vector, run the prefix, and return the metric (higher
+/// is better, e.g. mean pmAUC). Deterministic seeding inside `evaluate`
+/// makes the tuning itself deterministic.
+struct SelfTuningResult {
+  std::vector<double> best_params;
+  double best_metric = 0.0;
+  int evaluations = 0;
+};
+
+inline SelfTuningResult SelfTuneOnPrefix(
+    const std::function<double(const std::vector<double>&)>& evaluate,
+    const std::vector<double>& initial, const std::vector<double>& lower,
+    const std::vector<double>& upper, int budget = 40) {
+  NelderMeadOptions options;
+  options.max_evaluations = budget;
+  NelderMeadResult r = NelderMeadMinimize(
+      [&evaluate](const std::vector<double>& p) { return 1.0 - evaluate(p); },
+      initial, lower, upper, options);
+  SelfTuningResult out;
+  out.best_params = r.best_point;
+  out.best_metric = 1.0 - r.best_value;
+  out.evaluations = r.evaluations;
+  return out;
+}
+
+}  // namespace ccd
+
+#endif  // CCD_EVAL_SELF_TUNING_H_

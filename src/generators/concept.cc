@@ -1,0 +1,19 @@
+#include "generators/concept.h"
+
+namespace ccd {
+
+std::vector<double> Concept::SampleForClass(int k, Rng* rng) const {
+  Instance last;
+  for (int i = 0; i < kMaxRejectionTries; ++i) {
+    last = Sample(rng);
+    if (last.label == k) return std::move(last.features);
+  }
+  return std::move(last.features);
+}
+
+std::unique_ptr<Concept> Concept::Interpolate(const Concept& /*target*/,
+                                              double /*alpha*/) const {
+  return nullptr;
+}
+
+}  // namespace ccd

@@ -1,0 +1,35 @@
+#include "generators/drift.h"
+
+namespace ccd {
+
+const char* DriftTypeName(DriftType t) {
+  switch (t) {
+    case DriftType::kSudden:
+      return "sudden";
+    case DriftType::kGradual:
+      return "gradual";
+    case DriftType::kIncremental:
+      return "incremental";
+  }
+  return "?";
+}
+
+std::vector<DriftEvent> EvenlySpacedEvents(uint64_t length, int n_events,
+                                           DriftType type, uint64_t width) {
+  std::vector<DriftEvent> events;
+  if (n_events <= 0 || length == 0) return events;
+  uint64_t gap = length / static_cast<uint64_t>(n_events + 1);
+  if (gap == 0) gap = 1;
+  uint64_t w = type == DriftType::kSudden ? 0 : width;
+  if (w > gap / 2) w = gap / 2;
+  for (int i = 1; i <= n_events; ++i) {
+    DriftEvent e;
+    e.start = gap * static_cast<uint64_t>(i);
+    e.width = w;
+    e.type = type;
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace ccd

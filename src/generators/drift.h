@@ -1,0 +1,53 @@
+#ifndef CCD_GENERATORS_DRIFT_H_
+#define CCD_GENERATORS_DRIFT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ccd {
+
+/// Speed profile of a concept transition (Sec. II, Eq. 2-5).
+enum class DriftType {
+  kSudden,       ///< Eq. 2: abrupt switch at t1.
+  kGradual,      ///< Eq. 5: instances oscillate between D0 and D1.
+  kIncremental,  ///< Eq. 3: progression through intermediate concepts.
+};
+
+const char* DriftTypeName(DriftType t);
+
+/// One drift event: the transition from concept index e to e+1 in a
+/// DriftingClassStream, starting at instance `start` and lasting `width`
+/// instances (0 for sudden). `affected` lists the class labels subject to
+/// the drift; empty means *global* drift (all classes). Local drift
+/// (Scenario 3 / Experiment 2 of the paper) is expressed by listing a
+/// subset.
+struct DriftEvent {
+  uint64_t start = 0;
+  uint64_t width = 0;
+  DriftType type = DriftType::kSudden;
+  std::vector<int> affected;
+
+  /// Progress of the transition in [0,1] at stream position `t` (Eq. 4).
+  double Alpha(uint64_t t) const {
+    if (t < start) return 0.0;
+    if (width == 0 || t >= start + width) return 1.0;
+    return static_cast<double>(t - start) / static_cast<double>(width);
+  }
+
+  bool Affects(int label) const {
+    if (affected.empty()) return true;
+    for (int a : affected) {
+      if (a == label) return true;
+    }
+    return false;
+  }
+};
+
+/// Builds `n_events` evenly spaced events over a stream of `length`
+/// instances, each of the given type and `width` (clamped to the gaps).
+std::vector<DriftEvent> EvenlySpacedEvents(uint64_t length, int n_events,
+                                           DriftType type, uint64_t width);
+
+}  // namespace ccd
+
+#endif  // CCD_GENERATORS_DRIFT_H_

@@ -1,0 +1,76 @@
+#include "generators/imbalance.h"
+
+#include <cmath>
+
+namespace ccd {
+
+std::vector<double> ImbalanceSchedule::LadderPriors(double ir) const {
+  const int k = opt_.num_classes;
+  std::vector<double> p(k, 1.0);
+  if (ir < 1.0) ir = 1.0;
+  if (k > 1 && ir > 1.0) {
+    // Geometric spacing: p_i ∝ ir^(-i/(k-1)), so p_0/p_{k-1} = ir exactly.
+    double total = 0.0;
+    for (int i = 0; i < k; ++i) {
+      p[i] = std::pow(ir, -static_cast<double>(i) / (k - 1));
+      total += p[i];
+    }
+    for (double& v : p) v /= total;
+  } else {
+    for (double& v : p) v = 1.0 / k;
+  }
+  return p;
+}
+
+double ImbalanceSchedule::IrAt(uint64_t t) const {
+  if (!opt_.dynamic || opt_.ir_period == 0) return opt_.base_ir;
+  // Triangular wave between ir_low and ir_high.
+  double phase = static_cast<double>(t % opt_.ir_period) /
+                 static_cast<double>(opt_.ir_period);
+  double tri = phase < 0.5 ? 2.0 * phase : 2.0 * (1.0 - phase);
+  return opt_.ir_low + (opt_.ir_high - opt_.ir_low) * tri;
+}
+
+int ImbalanceSchedule::RotationAt(uint64_t t) const {
+  if (opt_.role_switch_period == 0) return 0;
+  return static_cast<int>((t / opt_.role_switch_period) %
+                          static_cast<uint64_t>(opt_.num_classes));
+}
+
+int ImbalanceSchedule::ClassAtRung(uint64_t t, int rung) const {
+  const int k = opt_.num_classes;
+  int rot = RotationAt(t);
+  // Rotation r places class (rung + r) mod k on ladder rung `rung`.
+  return (rung + rot) % k;
+}
+
+std::vector<double> ImbalanceSchedule::PriorsAt(uint64_t t) const {
+  const int k = opt_.num_classes;
+  std::vector<double> ladder = LadderPriors(IrAt(t));
+  std::vector<double> cur(k, 0.0);
+  int rot = RotationAt(t);
+  for (int rung = 0; rung < k; ++rung) {
+    cur[(rung + rot) % k] = ladder[rung];
+  }
+  if (opt_.role_switch_period == 0) return cur;
+
+  // Cross-fade into the next rotation near the switch boundary so the
+  // priors change continuously rather than jumping.
+  uint64_t into = t % opt_.role_switch_period;
+  uint64_t to_boundary = opt_.role_switch_period - into;
+  if (to_boundary < opt_.role_switch_width) {
+    double alpha = 1.0 - static_cast<double>(to_boundary) /
+                             static_cast<double>(opt_.role_switch_width);
+    std::vector<double> next(k, 0.0);
+    int nrot = (rot + 1) % k;
+    for (int rung = 0; rung < k; ++rung) {
+      next[(rung + nrot) % k] = ladder[rung];
+    }
+    for (int i = 0; i < k; ++i) {
+      cur[i] = (1.0 - alpha) * cur[i] + alpha * next[i];
+    }
+  }
+  return cur;
+}
+
+}  // namespace ccd

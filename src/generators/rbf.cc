@@ -1,0 +1,74 @@
+#include "generators/rbf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccd {
+
+RbfConcept::RbfConcept(const Options& options, uint64_t seed)
+    : schema_(options.num_features, options.num_classes, "rbf"),
+      opt_(options) {
+  Rng rng(seed);
+  centroids_.resize(static_cast<size_t>(opt_.num_classes));
+  for (auto& cls : centroids_) {
+    cls.resize(static_cast<size_t>(opt_.centroids_per_class));
+    for (auto& c : cls) {
+      c.center.resize(static_cast<size_t>(opt_.num_features));
+      for (double& v : c.center) v = rng.NextDouble();
+      c.sigma = rng.Uniform(opt_.sigma_min, opt_.sigma_max);
+      c.weight = rng.Uniform(0.2, 1.0);
+    }
+  }
+}
+
+std::vector<double> RbfConcept::SampleForClass(int k, Rng* rng) const {
+  const auto& cls = centroids_[static_cast<size_t>(k)];
+  std::vector<double> weights(cls.size());
+  for (size_t i = 0; i < cls.size(); ++i) weights[i] = cls[i].weight;
+  const Centroid& c = cls[static_cast<size_t>(rng->Discrete(weights))];
+  std::vector<double> x(c.center.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(c.center[i] + rng->Gaussian(0.0, c.sigma), 0.0, 1.0);
+  }
+  return x;
+}
+
+Instance RbfConcept::Sample(Rng* rng) const {
+  // Natural class distribution: proportional to total centroid weight.
+  std::vector<double> class_w(centroids_.size());
+  for (size_t k = 0; k < centroids_.size(); ++k) {
+    double s = 0.0;
+    for (const auto& c : centroids_[k]) s += c.weight;
+    class_w[k] = s;
+  }
+  int k = rng->Discrete(class_w);
+  return Instance(SampleForClass(k, rng), k);
+}
+
+std::unique_ptr<Concept> RbfConcept::Interpolate(const Concept& target,
+                                                 double alpha) const {
+  const auto* other = dynamic_cast<const RbfConcept*>(&target);
+  if (other == nullptr || other->centroids_.size() != centroids_.size()) {
+    return nullptr;
+  }
+  auto out = std::unique_ptr<RbfConcept>(new RbfConcept());
+  out->schema_ = schema_;
+  out->opt_ = opt_;
+  out->centroids_ = centroids_;
+  for (size_t k = 0; k < centroids_.size(); ++k) {
+    if (other->centroids_[k].size() != centroids_[k].size()) return nullptr;
+    for (size_t i = 0; i < centroids_[k].size(); ++i) {
+      auto& dst = out->centroids_[k][i];
+      const auto& a = centroids_[k][i];
+      const auto& b = other->centroids_[k][i];
+      for (size_t dgt = 0; dgt < dst.center.size(); ++dgt) {
+        dst.center[dgt] = (1.0 - alpha) * a.center[dgt] + alpha * b.center[dgt];
+      }
+      dst.sigma = (1.0 - alpha) * a.sigma + alpha * b.sigma;
+      dst.weight = (1.0 - alpha) * a.weight + alpha * b.weight;
+    }
+  }
+  return out;
+}
+
+}  // namespace ccd

@@ -1,0 +1,81 @@
+#include "stats/granger.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "utils/matrix.h"
+
+namespace ccd {
+namespace {
+
+std::vector<double> FirstDiff(const std::vector<double>& v) {
+  std::vector<double> d;
+  if (v.size() < 2) return d;
+  d.reserve(v.size() - 1);
+  for (size_t i = 1; i < v.size(); ++i) d.push_back(v[i] - v[i - 1]);
+  return d;
+}
+
+}  // namespace
+
+GrangerResult GrangerCausality(const std::vector<double>& x,
+                               const std::vector<double>& y, int lag,
+                               double alpha) {
+  GrangerResult out;
+  if (lag < 1) return out;
+  const size_t p = static_cast<size_t>(lag);
+  if (x.size() != y.size() || y.size() < p + 3) return out;
+  const size_t n = y.size() - p;  // usable observations
+  const size_t k_unres = 1 + 2 * p;
+  if (n <= k_unres) return out;
+
+  // Restricted design: intercept + p lags of y.
+  Matrix ar(n, 1 + p);
+  // Unrestricted design: intercept + p lags of y + p lags of x.
+  Matrix au(n, k_unres);
+  std::vector<double> target(n);
+  for (size_t t = 0; t < n; ++t) {
+    target[t] = y[t + p];
+    ar(t, 0) = 1.0;
+    au(t, 0) = 1.0;
+    for (size_t i = 1; i <= p; ++i) {
+      ar(t, i) = y[t + p - i];
+      au(t, i) = y[t + p - i];
+      au(t, p + i) = x[t + p - i];
+    }
+  }
+
+  std::vector<double> beta_r, beta_u;
+  if (!SolveLeastSquares(ar, target, &beta_r) ||
+      !SolveLeastSquares(au, target, &beta_u)) {
+    return out;
+  }
+  double rss_r = ResidualSumSquares(ar, target, beta_r);
+  double rss_u = ResidualSumSquares(au, target, beta_u);
+  double dof = static_cast<double>(n) - static_cast<double>(k_unres);
+  if (dof <= 0.0) return out;
+
+  if (rss_u <= 1e-300) {
+    // Perfect unrestricted fit: x's lags fully explain y - treat as strong
+    // causality evidence (null of no-causality rejected).
+    out.f_stat = 1e12;
+    out.p_value = 0.0;
+    out.valid = true;
+    out.causality_rejected = true;
+    return out;
+  }
+  out.f_stat = ((rss_r - rss_u) / static_cast<double>(p)) / (rss_u / dof);
+  if (out.f_stat < 0.0) out.f_stat = 0.0;
+  out.p_value = FPValue(out.f_stat, static_cast<double>(p), dof);
+  out.valid = true;
+  out.causality_rejected = out.p_value < alpha;
+  return out;
+}
+
+GrangerResult GrangerCausalityFirstDiff(const std::vector<double>& x,
+                                        const std::vector<double>& y, int lag,
+                                        double alpha) {
+  return GrangerCausality(FirstDiff(x), FirstDiff(y), lag, alpha);
+}
+
+}  // namespace ccd

@@ -1,0 +1,43 @@
+#ifndef CCD_STATS_GRANGER_H_
+#define CCD_STATS_GRANGER_H_
+
+#include <vector>
+
+namespace ccd {
+
+/// Result of a Granger causality test.
+struct GrangerResult {
+  double f_stat = 0.0;
+  double p_value = 1.0;
+  /// True when both regressions could be fitted (enough observations,
+  /// non-singular designs). When false, callers should treat the outcome as
+  /// "no evidence either way".
+  bool valid = false;
+  /// Convenience: p_value < alpha given the alpha used at the call site.
+  bool causality_rejected = false;
+};
+
+/// Bivariate Granger causality F-test: does the history of `x` help predict
+/// `y` beyond y's own history?
+///
+/// Fits the restricted model  y_t = c + Σ_{i=1..p} a_i y_{t-i}
+/// and the unrestricted one   y_t = c + Σ a_i y_{t-i} + Σ b_i x_{t-i},
+/// then F = ((RSS_r - RSS_u)/p) / (RSS_u/(n - 2p - 1)).
+///
+/// Rejecting the null (p_value < alpha) means x *does* Granger-cause y.
+/// The RBM-IM detector applies this to reconstruction-error trends of
+/// consecutive windows: an accepted causality relationship means the stream
+/// is stable; rejection signals concept drift (Sec. V-B of the paper).
+GrangerResult GrangerCausality(const std::vector<double>& x,
+                               const std::vector<double>& y, int lag,
+                               double alpha);
+
+/// Variant on first differences (Δx_t = x_t - x_{t-1}), the form the paper
+/// prescribes for non-stationary processes.
+GrangerResult GrangerCausalityFirstDiff(const std::vector<double>& x,
+                                        const std::vector<double>& y, int lag,
+                                        double alpha);
+
+}  // namespace ccd
+
+#endif  // CCD_STATS_GRANGER_H_

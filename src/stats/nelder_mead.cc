@@ -1,0 +1,125 @@
+#include "stats/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccd {
+namespace {
+
+void Clamp(std::vector<double>* x, const std::vector<double>& lo,
+           const std::vector<double>& hi) {
+  for (size_t i = 0; i < x->size(); ++i) {
+    (*x)[i] = std::max(lo[i], std::min(hi[i], (*x)[i]));
+  }
+}
+
+}  // namespace
+
+NelderMeadResult NelderMeadMinimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& x0, const std::vector<double>& lo,
+    const std::vector<double>& hi, const NelderMeadOptions& options) {
+  NelderMeadResult result;
+  const size_t n = x0.size();
+  if (n == 0 || lo.size() != n || hi.size() != n) return result;
+
+  // Initial simplex: x0 plus one perturbed vertex per dimension.
+  std::vector<std::vector<double>> simplex;
+  simplex.push_back(x0);
+  Clamp(&simplex[0], lo, hi);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> v = simplex[0];
+    double span = hi[i] - lo[i];
+    double step = span > 0 ? options.initial_step * span : 1.0;
+    v[i] += (v[i] + step <= hi[i]) ? step : -step;
+    Clamp(&v, lo, hi);
+    simplex.push_back(v);
+  }
+
+  std::vector<double> fv(simplex.size());
+  for (size_t i = 0; i < simplex.size(); ++i) {
+    fv[i] = objective(simplex[i]);
+    ++result.evaluations;
+  }
+
+  auto order = [&]() {
+    std::vector<size_t> idx(simplex.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return fv[a] < fv[b]; });
+    std::vector<std::vector<double>> s2;
+    std::vector<double> f2;
+    for (size_t i : idx) {
+      s2.push_back(simplex[i]);
+      f2.push_back(fv[i]);
+    }
+    simplex.swap(s2);
+    fv.swap(f2);
+  };
+
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+  while (result.evaluations < options.max_evaluations) {
+    order();
+    if (std::fabs(fv.back() - fv.front()) < options.tolerance) break;
+
+    // Centroid of all but worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i + 1 < simplex.size(); ++i) {
+      for (size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(simplex.size() - 1);
+
+    auto affine = [&](double t) {
+      std::vector<double> p(n);
+      for (size_t d = 0; d < n; ++d) {
+        p[d] = centroid[d] + t * (simplex.back()[d] - centroid[d]);
+      }
+      Clamp(&p, lo, hi);
+      return p;
+    };
+
+    std::vector<double> xr = affine(-kAlpha);
+    double fr = objective(xr);
+    ++result.evaluations;
+    if (fr < fv.front()) {
+      std::vector<double> xe = affine(-kGamma);
+      double fe = objective(xe);
+      ++result.evaluations;
+      if (fe < fr) {
+        simplex.back() = xe;
+        fv.back() = fe;
+      } else {
+        simplex.back() = xr;
+        fv.back() = fr;
+      }
+    } else if (fr < fv[fv.size() - 2]) {
+      simplex.back() = xr;
+      fv.back() = fr;
+    } else {
+      std::vector<double> xc = affine(kRho);
+      double fc = objective(xc);
+      ++result.evaluations;
+      if (fc < fv.back()) {
+        simplex.back() = xc;
+        fv.back() = fc;
+      } else {
+        // Shrink towards best.
+        for (size_t i = 1; i < simplex.size(); ++i) {
+          for (size_t d = 0; d < n; ++d) {
+            simplex[i][d] =
+                simplex[0][d] + kSigma * (simplex[i][d] - simplex[0][d]);
+          }
+          Clamp(&simplex[i], lo, hi);
+          fv[i] = objective(simplex[i]);
+          ++result.evaluations;
+        }
+      }
+    }
+  }
+  order();
+  result.best_point = simplex.front();
+  result.best_value = fv.front();
+  return result;
+}
+
+}  // namespace ccd

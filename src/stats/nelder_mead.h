@@ -1,0 +1,37 @@
+#ifndef CCD_STATS_NELDER_MEAD_H_
+#define CCD_STATS_NELDER_MEAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ccd {
+
+/// Options for the Nelder-Mead simplex optimizer.
+struct NelderMeadOptions {
+  int max_evaluations = 200;
+  double tolerance = 1e-6;       ///< Stop when simplex f-spread is below.
+  double initial_step = 0.25;    ///< Relative step for the initial simplex.
+  uint64_t seed = 13;            ///< For tie-breaking jitter.
+};
+
+/// Result of an optimization run.
+struct NelderMeadResult {
+  std::vector<double> best_point;
+  double best_value = 0.0;
+  int evaluations = 0;
+};
+
+/// Derivative-free Nelder-Mead minimizer with box constraints (points are
+/// clamped to [lo, hi] per dimension). This powers the "self hyper-parameter
+/// tuning" used by the paper's experimental protocol (Veloso et al., DS'18):
+/// detector parameters are tuned on a stream prefix by minimizing
+/// (1 - metric).
+NelderMeadResult NelderMeadMinimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& x0, const std::vector<double>& lo,
+    const std::vector<double>& hi, const NelderMeadOptions& options = {});
+
+}  // namespace ccd
+
+#endif  // CCD_STATS_NELDER_MEAD_H_

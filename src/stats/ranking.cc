@@ -1,0 +1,168 @@
+#include "stats/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/distributions.h"
+#include "utils/rng.h"
+
+namespace ccd {
+namespace {
+
+/// Two-tailed Bonferroni-Dunn critical values q_alpha for comparing k
+/// algorithms (Demsar 2006, Table 5(b)). Index = k; entry 0/1 unused.
+const double kDunnQ05[] = {0, 0, 1.960, 2.241, 2.394, 2.498, 2.576,
+                           2.638, 2.690, 2.724, 2.773};
+const double kDunnQ10[] = {0, 0, 1.645, 1.960, 2.128, 2.241, 2.326,
+                           2.394, 2.450, 2.498, 2.539};
+
+double DunnQ(int k, double alpha) {
+  const double* table = (alpha >= 0.10) ? kDunnQ10 : kDunnQ05;
+  if (k < 2) return 0.0;
+  if (k > 10) k = 10;  // Conservative clamp; the paper compares 6.
+  return table[k];
+}
+
+}  // namespace
+
+FriedmanResult FriedmanTest(const std::vector<std::vector<double>>& scores,
+                            bool higher_is_better, double alpha) {
+  FriedmanResult out;
+  const size_t n = scores.size();
+  if (n == 0) return out;
+  const size_t k = scores[0].size();
+  if (k < 2) return out;
+
+  out.average_ranks.assign(k, 0.0);
+  for (const auto& row : scores) {
+    if (row.size() != k) return out;
+    // Midrank assignment within this dataset.
+    std::vector<size_t> idx(k);
+    for (size_t i = 0; i < k; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return higher_is_better ? row[a] > row[b] : row[a] < row[b];
+    });
+    size_t i = 0;
+    while (i < k) {
+      size_t j = i;
+      while (j + 1 < k && row[idx[j + 1]] == row[idx[i]]) ++j;
+      double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+      for (size_t m = i; m <= j; ++m) out.average_ranks[idx[m]] += rank;
+      i = j + 1;
+    }
+  }
+  for (double& r : out.average_ranks) r /= static_cast<double>(n);
+
+  double sum_r2 = 0.0;
+  for (double r : out.average_ranks) sum_r2 += r * r;
+  const double kk = static_cast<double>(k);
+  const double nn = static_cast<double>(n);
+  out.chi_square =
+      12.0 * nn / (kk * (kk + 1.0)) * (sum_r2 - kk * (kk + 1.0) * (kk + 1.0) / 4.0);
+  out.p_value = ChiSquarePValue(out.chi_square, kk - 1.0);
+  out.critical_difference =
+      DunnQ(static_cast<int>(k), alpha) * std::sqrt(kk * (kk + 1.0) / (6.0 * nn));
+  out.valid = true;
+  return out;
+}
+
+std::string RenderCriticalDifferenceDiagram(
+    const std::vector<std::string>& names, const FriedmanResult& result) {
+  std::ostringstream out;
+  if (!result.valid || names.size() != result.average_ranks.size()) {
+    return "(invalid ranking)\n";
+  }
+  std::vector<size_t> order(names.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result.average_ranks[a] < result.average_ranks[b];
+  });
+  double best = result.average_ranks[order[0]];
+  out << "Friedman chi2=" << result.chi_square << " p=" << result.p_value
+      << "  CD(Bonferroni-Dunn)=" << result.critical_difference << "\n";
+  for (size_t i : order) {
+    bool tied_with_best =
+        result.average_ranks[i] - best <= result.critical_difference;
+    out << "  rank " << result.average_ranks[i] << "  " << names[i]
+        << (i == order[0] ? "  (best)"
+                          : (tied_with_best ? "  (within CD of best)" : ""))
+        << "\n";
+  }
+  return out.str();
+}
+
+BayesianSignedResult BayesianSignedTest(const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        double rope, int samples,
+                                        uint64_t seed) {
+  BayesianSignedResult out;
+  if (a.size() != b.size() || a.empty() || samples < 100) return out;
+
+  // Count observations in each region; the Dirichlet prior puts one
+  // pseudo-observation on the rope (Benavoli et al.'s s=1, z0=rope choice).
+  double n_left = 0, n_rope = 1.0, n_right = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    if (d > rope) {
+      n_left += 1.0;  // A practically better.
+    } else if (d < -rope) {
+      n_right += 1.0;  // B practically better.
+    } else {
+      n_rope += 1.0;
+    }
+  }
+
+  Rng rng(seed);
+  // Sample Dirichlet(n_left, n_rope, n_right) via Gamma marginals.
+  auto sample_gamma = [&rng](double shape) {
+    // Marsaglia-Tsang; for shape < 1 boost via G(a) = G(a+1) * U^{1/a}.
+    double boost = 1.0;
+    if (shape < 1.0) {
+      boost = std::pow(rng.NextDouble() + 1e-300, 1.0 / shape);
+      shape += 1.0;
+    }
+    double d = shape - 1.0 / 3.0;
+    double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = rng.Gaussian();
+      double v = 1.0 + c * x;
+      if (v <= 0.0) continue;
+      v = v * v * v;
+      double u = rng.NextDouble();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
+      if (std::log(u + 1e-300) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+        return boost * d * v;
+    }
+  };
+
+  int wins_left = 0, wins_rope = 0, wins_right = 0;
+  double sum_l = 0, sum_m = 0, sum_r = 0;
+  for (int s = 0; s < samples; ++s) {
+    double gl = n_left > 0 ? sample_gamma(n_left) : 0.0;
+    double gm = sample_gamma(n_rope);
+    double gr = n_right > 0 ? sample_gamma(n_right) : 0.0;
+    double tot = gl + gm + gr;
+    double tl = gl / tot, tm = gm / tot, tr = gr / tot;
+    sum_l += tl;
+    sum_m += tm;
+    sum_r += tr;
+    if (tl >= tm && tl >= tr) {
+      ++wins_left;
+    } else if (tr >= tl && tr >= tm) {
+      ++wins_right;
+    } else {
+      ++wins_rope;
+    }
+  }
+  out.p_left = static_cast<double>(wins_left) / samples;
+  out.p_rope = static_cast<double>(wins_rope) / samples;
+  out.p_right = static_cast<double>(wins_right) / samples;
+  out.mean_left = sum_l / samples;
+  out.mean_rope = sum_m / samples;
+  out.mean_right = sum_r / samples;
+  out.valid = true;
+  return out;
+}
+
+}  // namespace ccd

@@ -1,0 +1,55 @@
+#ifndef CCD_STATS_RANKING_H_
+#define CCD_STATS_RANKING_H_
+
+#include <string>
+#include <vector>
+
+namespace ccd {
+
+/// Result of the Friedman ranking test with Bonferroni-Dunn post-hoc
+/// analysis over N datasets x k algorithms (Demsar's protocol, the one the
+/// paper uses for Figs. 4-5).
+struct FriedmanResult {
+  std::vector<double> average_ranks;  ///< Per algorithm; rank 1 = best.
+  double chi_square = 0.0;            ///< Friedman chi² statistic.
+  double p_value = 1.0;               ///< Upper-tail chi² p-value.
+  double critical_difference = 0.0;   ///< Bonferroni-Dunn CD at given alpha.
+  bool valid = false;
+};
+
+/// Runs the Friedman test on a score matrix `scores[dataset][algorithm]`.
+/// `higher_is_better` controls rank direction (true for pmAUC/pmGM).
+/// `alpha` selects the Bonferroni-Dunn critical value (0.05 or 0.10
+/// supported; other values fall back to 0.05).
+FriedmanResult FriedmanTest(const std::vector<std::vector<double>>& scores,
+                            bool higher_is_better = true, double alpha = 0.05);
+
+/// Renders a textual critical-difference diagram (the ASCII analogue of the
+/// paper's Figs. 4-5): algorithms placed on a rank axis, with groups not
+/// statistically distinguishable from the best marked.
+std::string RenderCriticalDifferenceDiagram(
+    const std::vector<std::string>& names, const FriedmanResult& result);
+
+/// Result of the Bayesian signed test (Benavoli et al., JMLR 2017) comparing
+/// two algorithms over paired per-dataset scores (paper Figs. 6-7).
+struct BayesianSignedResult {
+  double p_left = 0.0;   ///< P(algorithm A practically better).
+  double p_rope = 0.0;   ///< P(practical equivalence).
+  double p_right = 0.0;  ///< P(algorithm B practically better).
+  /// Mean posterior barycentric weights (θ_left, θ_rope, θ_right).
+  double mean_left = 0.0, mean_rope = 0.0, mean_right = 0.0;
+  bool valid = false;
+};
+
+/// Monte-Carlo Bayesian signed test. `a` and `b` are paired scores over
+/// datasets; `rope` is the region of practical equivalence half-width in the
+/// same units as the scores (the paper's plots use 1 percentage point);
+/// `samples` controls MC precision; `seed` makes runs reproducible.
+BayesianSignedResult BayesianSignedTest(const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        double rope, int samples = 20000,
+                                        uint64_t seed = 7);
+
+}  // namespace ccd
+
+#endif  // CCD_STATS_RANKING_H_

@@ -1,0 +1,92 @@
+#ifndef CCD_STATS_TREND_H_
+#define CCD_STATS_TREND_H_
+
+#include <cstdint>
+#include <deque>
+
+namespace ccd {
+
+/// Sliding-window linear-regression trend of a time series (Eq. 28-37 of the
+/// paper). Maintains the running sums Σt·R, Σt, ΣR, Σt² over the last W
+/// observations incrementally, so each update is O(1), and exposes the OLS
+/// slope
+///
+///   Q_r(t) = (n ΣtR − Σt ΣR) / (n Σt² − (Σt)²).
+///
+/// The window size may be changed on the fly (the RBM-IM detector drives it
+/// from ADWIN): shrinking evicts the oldest points immediately.
+class SlidingTrend {
+ public:
+  explicit SlidingTrend(size_t window) : window_(window) {}
+
+  /// Appends observation R at the next time index and updates the sums
+  /// (Eq. 29-32 below capacity, Eq. 33-36 once the window is saturated).
+  void Push(double r) {
+    ++t_;
+    points_.push_back({t_, r});
+    sum_tr_ += static_cast<double>(t_) * r;
+    sum_t_ += static_cast<double>(t_);
+    sum_r_ += r;
+    sum_t2_ += static_cast<double>(t_) * static_cast<double>(t_);
+    EvictToCapacity();
+  }
+
+  /// Adjusts the window size W; takes effect immediately.
+  void set_window(size_t w) {
+    window_ = w == 0 ? 1 : w;
+    EvictToCapacity();
+  }
+
+  size_t window() const { return window_; }
+  size_t size() const { return points_.size(); }
+  uint64_t time() const { return t_; }
+
+  /// Current OLS slope; 0 when fewer than 2 points or a degenerate design.
+  double Slope() const {
+    const double n = static_cast<double>(points_.size());
+    if (n < 2.0) return 0.0;
+    double denom = n * sum_t2_ - sum_t_ * sum_t_;
+    if (denom == 0.0) return 0.0;
+    return (n * sum_tr_ - sum_t_ * sum_r_) / denom;
+  }
+
+  /// Mean of the windowed observations.
+  double Mean() const {
+    return points_.empty() ? 0.0 : sum_r_ / static_cast<double>(points_.size());
+  }
+
+  void Reset() {
+    points_.clear();
+    sum_tr_ = sum_t_ = sum_r_ = sum_t2_ = 0.0;
+    // Keep t_ running: the regression is over absolute batch indices.
+  }
+
+ private:
+  struct Point {
+    uint64_t t;
+    double r;
+  };
+
+  void EvictToCapacity() {
+    while (points_.size() > window_) {
+      const Point& p = points_.front();
+      sum_tr_ -= static_cast<double>(p.t) * p.r;
+      sum_t_ -= static_cast<double>(p.t);
+      sum_r_ -= p.r;
+      sum_t2_ -= static_cast<double>(p.t) * static_cast<double>(p.t);
+      points_.pop_front();
+    }
+  }
+
+  size_t window_;
+  std::deque<Point> points_;
+  uint64_t t_ = 0;
+  double sum_tr_ = 0.0;
+  double sum_t_ = 0.0;
+  double sum_r_ = 0.0;
+  double sum_t2_ = 0.0;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_STATS_TREND_H_

@@ -1,0 +1,103 @@
+#include "stats/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace ccd {
+namespace {
+
+/// Assigns midranks to the pooled sorted values; returns the rank of each
+/// element of the pooled array and the tie-correction term Σ(t³ - t).
+double Midranks(std::vector<std::pair<double, int>>* pooled,
+                std::vector<double>* ranks) {
+  std::sort(pooled->begin(), pooled->end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  const size_t n = pooled->size();
+  ranks->assign(n, 0.0);
+  double tie_term = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && (*pooled)[j + 1].first == (*pooled)[i].first) ++j;
+    double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) (*ranks)[k] = rank;
+    double t = static_cast<double>(j - i + 1);
+    if (t > 1.0) tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  return tie_term;
+}
+
+}  // namespace
+
+RankTestResult WilcoxonRankSum(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  RankTestResult out;
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  if (a.size() < 2 || b.size() < 2) return out;
+
+  std::vector<std::pair<double, int>> pooled;
+  pooled.reserve(a.size() + b.size());
+  for (double v : a) pooled.emplace_back(v, 0);
+  for (double v : b) pooled.emplace_back(v, 1);
+  std::vector<double> ranks;
+  double tie_term = Midranks(&pooled, &ranks);
+
+  double rank_sum_a = 0.0;
+  for (size_t i = 0; i < pooled.size(); ++i) {
+    if (pooled[i].second == 0) rank_sum_a += ranks[i];
+  }
+  double u = rank_sum_a - n1 * (n1 + 1.0) / 2.0;
+  double mu = n1 * n2 / 2.0;
+  double n = n1 + n2;
+  double sigma2 =
+      n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  out.statistic = u;
+  if (sigma2 <= 0.0) {
+    // All values tied: the two windows are indistinguishable.
+    out.z = 0.0;
+    out.p_value = 1.0;
+    out.valid = true;
+    return out;
+  }
+  out.z = (u - mu) / std::sqrt(sigma2);
+  out.p_value = NormalTwoSidedPValue(out.z);
+  out.valid = true;
+  return out;
+}
+
+RankTestResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  RankTestResult out;
+  if (a.size() != b.size()) return out;
+  std::vector<double> diffs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  const size_t n = diffs.size();
+  if (n < 5) return out;
+
+  std::vector<std::pair<double, int>> pooled;
+  pooled.reserve(n);
+  for (double d : diffs) pooled.emplace_back(std::fabs(d), d > 0 ? 0 : 1);
+  std::vector<double> ranks;
+  Midranks(&pooled, &ranks);
+  double w_plus = 0.0;
+  for (size_t i = 0; i < pooled.size(); ++i) {
+    if (pooled[i].second == 0) w_plus += ranks[i];
+  }
+  double nn = static_cast<double>(n);
+  double mu = nn * (nn + 1.0) / 4.0;
+  double sigma = std::sqrt(nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0);
+  out.statistic = w_plus;
+  out.z = (w_plus - mu) / sigma;
+  out.p_value = NormalTwoSidedPValue(out.z);
+  out.valid = true;
+  return out;
+}
+
+}  // namespace ccd

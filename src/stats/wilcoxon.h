@@ -1,0 +1,29 @@
+#ifndef CCD_STATS_WILCOXON_H_
+#define CCD_STATS_WILCOXON_H_
+
+#include <vector>
+
+namespace ccd {
+
+/// Result of a two-sample rank test.
+struct RankTestResult {
+  double statistic = 0.0;  ///< Mann-Whitney U (rank-sum form).
+  double z = 0.0;          ///< Normal approximation z-score.
+  double p_value = 1.0;    ///< Two-sided p-value.
+  bool valid = false;      ///< False when a sample is too small/degenerate.
+};
+
+/// Wilcoxon rank-sum (Mann-Whitney U) test with tie correction and normal
+/// approximation, as used by the WSTD drift detector to compare the error
+/// behaviour in two sub-windows.
+RankTestResult WilcoxonRankSum(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Wilcoxon signed-rank test for paired samples (used in analysis helpers).
+/// Zero differences are dropped per standard practice.
+RankTestResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+}  // namespace ccd
+
+#endif  // CCD_STATS_WILCOXON_H_

@@ -1,0 +1,42 @@
+#ifndef CCD_STREAM_INSTANCE_H_
+#define CCD_STREAM_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+namespace ccd {
+
+/// A single labelled stream element S_j ~ p_j(x, y): a dense d-dimensional
+/// feature vector with an integer class label in [0, num_classes).
+struct Instance {
+  std::vector<double> features;
+  int label = -1;
+  /// Importance weight; 1.0 for ordinary instances. Cost-sensitive
+  /// classifiers may scale their updates by this.
+  double weight = 1.0;
+
+  Instance() = default;
+  Instance(std::vector<double> x, int y, double w = 1.0)
+      : features(std::move(x)), label(y), weight(w) {}
+
+  size_t dim() const { return features.size(); }
+};
+
+/// Static description of a stream: dimensionality and class count. All
+/// generators, detectors and classifiers size their internal state from the
+/// schema handed to them at construction or first use.
+struct StreamSchema {
+  int num_features = 0;
+  int num_classes = 0;
+  std::string name;
+
+  StreamSchema() = default;
+  StreamSchema(int d, int k, std::string n = "")
+      : num_features(d), num_classes(k), name(std::move(n)) {}
+
+  bool Valid() const { return num_features > 0 && num_classes >= 2; }
+};
+
+}  // namespace ccd
+
+#endif  // CCD_STREAM_INSTANCE_H_

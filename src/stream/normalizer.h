@@ -1,0 +1,67 @@
+#ifndef CCD_STREAM_NORMALIZER_H_
+#define CCD_STREAM_NORMALIZER_H_
+
+#include <vector>
+
+#include "stream/instance.h"
+
+namespace ccd {
+
+/// Online per-feature min-max normalizer mapping raw features into [0, 1].
+///
+/// The RBM visible layer models binary/unit-interval units, so features must
+/// be squashed before reconstruction error is meaningful. Bounds are learned
+/// incrementally from the stream (expanding only), which is the standard
+/// streaming practice when the domain is unknown a priori.
+class MinMaxNormalizer {
+ public:
+  explicit MinMaxNormalizer(int num_features)
+      : lo_(num_features, 0.0), hi_(num_features, 0.0), seen_(false) {}
+
+  /// Updates the bounds from a raw instance.
+  void Observe(const std::vector<double>& x) {
+    if (!seen_) {
+      lo_ = x;
+      hi_ = x;
+      seen_ = true;
+      return;
+    }
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < lo_[i]) lo_[i] = x[i];
+      if (x[i] > hi_[i]) hi_[i] = x[i];
+    }
+  }
+
+  /// Maps `x` into [0,1]^d with the current bounds. Constant features map
+  /// to 0.5. Does not update the bounds.
+  std::vector<double> Transform(const std::vector<double>& x) const {
+    std::vector<double> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      double span = hi_[i] - lo_[i];
+      if (span <= 0.0 || !seen_) {
+        out[i] = 0.5;
+      } else {
+        double v = (x[i] - lo_[i]) / span;
+        out[i] = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+      }
+    }
+    return out;
+  }
+
+  /// Observe + Transform in one call (the usual streaming order).
+  std::vector<double> ObserveTransform(const std::vector<double>& x) {
+    Observe(x);
+    return Transform(x);
+  }
+
+  bool seen() const { return seen_; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  bool seen_;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_STREAM_NORMALIZER_H_

@@ -1,0 +1,12 @@
+#include "stream/stream.h"
+
+namespace ccd {
+
+std::vector<Instance> Take(InstanceStream* stream, size_t n) {
+  std::vector<Instance> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(stream->Next());
+  return out;
+}
+
+}  // namespace ccd

@@ -1,0 +1,81 @@
+#ifndef CCD_STREAM_WINDOW_H_
+#define CCD_STREAM_WINDOW_H_
+
+#include <deque>
+#include <vector>
+
+namespace ccd {
+
+/// Fixed-capacity sliding window over a numeric series. Pushing beyond the
+/// capacity evicts the oldest element. Maintains the running sum so that
+/// Mean() is O(1).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(size_t capacity) : capacity_(capacity) {}
+
+  void Push(double v) {
+    buf_.push_back(v);
+    sum_ += v;
+    if (buf_.size() > capacity_) {
+      sum_ -= buf_.front();
+      buf_.pop_front();
+    }
+  }
+
+  void Clear() {
+    buf_.clear();
+    sum_ = 0.0;
+  }
+
+  size_t size() const { return buf_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool Full() const { return buf_.size() == capacity_; }
+  double Sum() const { return sum_; }
+  double Mean() const { return buf_.empty() ? 0.0 : sum_ / buf_.size(); }
+  double operator[](size_t i) const { return buf_[i]; }
+  double Front() const { return buf_.front(); }
+  double Back() const { return buf_.back(); }
+
+  /// Copies the window content, oldest first.
+  std::vector<double> ToVector() const {
+    return std::vector<double>(buf_.begin(), buf_.end());
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+/// Groups consecutive instances into mini-batches of size n (the unit the
+/// RBM-IM detector trains on and monitors, Sec. V of the paper).
+template <typename T>
+class Batcher {
+ public:
+  explicit Batcher(size_t batch_size) : batch_size_(batch_size) {}
+
+  /// Adds one element; returns true when a full batch just completed, in
+  /// which case TakeBatch() yields it.
+  bool Push(T v) {
+    current_.push_back(std::move(v));
+    return current_.size() >= batch_size_;
+  }
+
+  /// Moves the accumulated batch out and starts a new one.
+  std::vector<T> TakeBatch() {
+    std::vector<T> out;
+    out.swap(current_);
+    return out;
+  }
+
+  size_t pending() const { return current_.size(); }
+  size_t batch_size() const { return batch_size_; }
+
+ private:
+  size_t batch_size_;
+  std::vector<T> current_;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_STREAM_WINDOW_H_

@@ -1,0 +1,51 @@
+#include "utils/cli.h"
+
+#include <cstdlib>
+
+namespace ccd {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      std::string value = "1";
+      auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      flags_[name] = value;
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Cli::Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::GetString(const std::string& name,
+                           const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int Cli::GetInt(const std::string& name, int def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Cli::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool Cli::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "0" && it->second != "false" && it->second != "no";
+}
+
+}  // namespace ccd

@@ -1,0 +1,36 @@
+#ifndef CCD_UTILS_CLI_H_
+#define CCD_UTILS_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccd {
+
+/// Tiny `--flag value` / `--flag` command-line parser used by the benchmark
+/// and example binaries. Unknown flags are kept so callers can forward the
+/// remainder (e.g. to google-benchmark).
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// True if `--name` was passed (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Value of `--name`, or `def` when absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int GetInt(const std::string& name, int def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_UTILS_CLI_H_

@@ -1,0 +1,111 @@
+#include "utils/matrix.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ccd {
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = i; j < cols_; ++j) {
+      double s = 0.0;
+      for (size_t r = 0; r < rows_; ++r) {
+        s += (*this)(r, i) * (*this)(r, j);
+      }
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::TransposeTimes(const std::vector<double>& v) const {
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double vr = v[r];
+    for (size_t c = 0; c < cols_; ++c) {
+      out[c] += (*this)(r, c) * vr;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Times(const std::vector<double>& v) const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) {
+      s += (*this)(r, c) * v[c];
+    }
+    out[r] = s;
+  }
+  return out;
+}
+
+bool SolveLinearSystem(const Matrix& a, const std::vector<double>& b,
+                       std::vector<double>* x) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) return false;
+  Matrix m = a;
+  std::vector<double> rhs = b;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot: pick the largest magnitude entry in this column.
+    size_t pivot = col;
+    double best = std::fabs(m(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(m(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(m(col, c), m(pivot, c));
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    double inv = 1.0 / m(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = m(r, col) * inv;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) m(r, c) -= f * m(col, c);
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double s = rhs[ri];
+    for (size_t c = ri + 1; c < n; ++c) s -= m(ri, c) * (*x)[c];
+    (*x)[ri] = s / m(ri, ri);
+  }
+  return true;
+}
+
+bool SolveLeastSquares(const Matrix& a, const std::vector<double>& b,
+                       std::vector<double>* x, double lambda) {
+  if (a.rows() != b.size() || a.cols() == 0) return false;
+  Matrix gram = a.Gram();
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  std::vector<double> atb = a.TransposeTimes(b);
+  if (SolveLinearSystem(gram, atb, x)) return true;
+  // Retry once with a small ridge term: collinear designs occur when trend
+  // windows contain constant series.
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += 1e-8;
+  return SolveLinearSystem(gram, atb, x);
+}
+
+double ResidualSumSquares(const Matrix& a, const std::vector<double>& b,
+                          const std::vector<double>& x) {
+  double rss = 0.0;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double pred = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) pred += a(r, c) * x[c];
+    double e = b[r] - pred;
+    rss += e * e;
+  }
+  return rss;
+}
+
+}  // namespace ccd

@@ -1,0 +1,64 @@
+#ifndef CCD_UTILS_MATRIX_H_
+#define CCD_UTILS_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ccd {
+
+/// Minimal row-major dense matrix of doubles.
+///
+/// Sized for the library's needs: ordinary-least-squares fits inside the
+/// Granger causality test, RBM weight blocks, and the Bayesian signed test.
+/// Not a general-purpose linear-algebra library — only the operations the
+/// reproduction requires are provided, all bounds-unchecked in release.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Creates a rows x cols matrix initialized to `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Returns this^T * this (Gram matrix), used by normal-equation solvers.
+  Matrix Gram() const;
+
+  /// Returns this^T * v; v.size() must equal rows().
+  std::vector<double> TransposeTimes(const std::vector<double>& v) const;
+
+  /// Returns this * v; v.size() must equal cols().
+  std::vector<double> Times(const std::vector<double>& v) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the square system A x = b with Gaussian elimination and partial
+/// pivoting. Returns false if A is (numerically) singular; in that case `x`
+/// is left unspecified. A and b are copied internally.
+bool SolveLinearSystem(const Matrix& a, const std::vector<double>& b,
+                       std::vector<double>* x);
+
+/// Solves min_x ||A x - b||_2 via the normal equations with ridge damping
+/// `lambda` (0 keeps plain OLS; a tiny lambda stabilizes collinear designs).
+/// Returns false when the normal matrix is singular even after damping.
+bool SolveLeastSquares(const Matrix& a, const std::vector<double>& b,
+                       std::vector<double>* x, double lambda = 0.0);
+
+/// Residual sum of squares ||A x - b||^2 for a fitted coefficient vector.
+double ResidualSumSquares(const Matrix& a, const std::vector<double>& b,
+                          const std::vector<double>& x);
+
+}  // namespace ccd
+
+#endif  // CCD_UTILS_MATRIX_H_

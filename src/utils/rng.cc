@@ -1,0 +1,10 @@
+#include "utils/rng.h"
+
+#include <cmath>
+
+namespace ccd {
+
+double Rng::Sqrt(double x) { return std::sqrt(x); }
+double Rng::Log(double x) { return std::log(x); }
+
+}  // namespace ccd

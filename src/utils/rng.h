@@ -1,0 +1,122 @@
+#ifndef CCD_UTILS_RNG_H_
+#define CCD_UTILS_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ccd {
+
+/// Deterministic, seedable pseudo-random number generator (PCG32).
+///
+/// All stochastic components in the library (generators, RBM sampling,
+/// Monte-Carlo statistics) draw from an explicitly passed Rng so that every
+/// experiment is reproducible from a single seed. PCG32 is small, fast and
+/// has far better statistical quality than std::minstd / rand().
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed. Two generators created with the
+  /// same seed produce identical sequences.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Reseed(seed); }
+
+  /// Re-initializes the internal state from `seed`.
+  void Reseed(uint64_t seed) {
+    state_ = 0u;
+    inc_ = (seed << 1u) | 1u;
+    NextU32();
+    state_ += 0x853c49e6748fea9bULL + seed;
+    NextU32();
+    has_gauss_ = false;
+  }
+
+  /// Returns the next 32 uniformly distributed bits.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return NextU32() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int UniformInt(int lo, int hi) {
+    if (hi <= lo) return lo;
+    uint32_t span = static_cast<uint32_t>(hi - lo) + 1u;
+    return lo + static_cast<int>(NextU32() % span);
+  }
+
+  /// Returns true with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal deviate scaled to (mean, stddev), via Marsaglia polar.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return mean + stddev * cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = Sqrt(-2.0 * Log(s) / s);
+    cached_gauss_ = v * mul;
+    has_gauss_ = true;
+    return mean + stddev * u * mul;
+  }
+
+  /// Samples an index with probability proportional to `weights[i]`.
+  /// Weights need not be normalized; non-positive weights are treated as 0.
+  /// Returns 0 if all weights are non-positive.
+  int Discrete(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      if (w > 0.0) total += w;
+    }
+    if (total <= 0.0) return 0;
+    double r = NextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (weights[i] > 0.0) {
+        acc += weights[i];
+        if (r < acc) return static_cast<int>(i);
+      }
+    }
+    return static_cast<int>(weights.size()) - 1;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each stream
+  /// component its own deterministic sub-sequence.
+  Rng Split() { return Rng((static_cast<uint64_t>(NextU32()) << 32) | NextU32()); }
+
+ private:
+  // Local wrappers avoid pulling <cmath> into every includer's macro scope.
+  static double Sqrt(double x);
+  static double Log(double x);
+
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_UTILS_RNG_H_

@@ -1,0 +1,42 @@
+#ifndef CCD_UTILS_TABLE_H_
+#define CCD_UTILS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ccd {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// plain-text table (for terminal output of the benchmark harnesses) or as
+/// CSV (for post-processing / plotting). The first added row is treated as
+/// the header.
+class Table {
+ public:
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders an aligned, human-readable table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas are quoted).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_UTILS_TABLE_H_

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "classifiers/cs_perceptron_tree.h"
+#include "classifiers/naive_bayes.h"
+#include "classifiers/perceptron.h"
+#include "generators/rbf.h"
+#include "utils/rng.h"
+
+namespace ccd {
+namespace {
+
+/// Simple two-Gaussian binary task: class 0 around 0.25, class 1 around
+/// 0.75 in every dimension.
+Instance DrawGaussianTask(Rng* rng, int d, double sep = 0.25) {
+  int y = rng->Bernoulli(0.5) ? 1 : 0;
+  std::vector<double> x(static_cast<size_t>(d));
+  double center = y == 0 ? 0.5 - sep : 0.5 + sep;
+  for (double& v : x) v = rng->Gaussian(center, 0.08);
+  return Instance(std::move(x), y);
+}
+
+using ClassifierFactory =
+    std::function<std::unique_ptr<OnlineClassifier>(const StreamSchema&)>;
+
+struct NamedClassifier {
+  std::string name;
+  ClassifierFactory make;
+};
+
+class ClassifierSuite : public ::testing::TestWithParam<NamedClassifier> {};
+
+TEST_P(ClassifierSuite, LearnsSeparableTask) {
+  StreamSchema schema(4, 2);
+  auto clf = GetParam().make(schema);
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) clf->Train(DrawGaussianTask(&rng, 4));
+  int correct = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    Instance inst = DrawGaussianTask(&rng, 4);
+    if (clf->Predict(inst) == inst.label) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(0.9 * n)) << GetParam().name;
+}
+
+TEST_P(ClassifierSuite, ScoresAreNormalizedProbabilities) {
+  StreamSchema schema(3, 4);
+  auto clf = GetParam().make(schema);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = {rng.NextDouble(), rng.NextDouble(),
+                             rng.NextDouble()};
+    clf->Train(Instance(x, rng.UniformInt(0, 3)));
+  }
+  Instance probe({0.5, 0.5, 0.5}, -1);
+  auto scores = clf->PredictScores(probe);
+  ASSERT_EQ(scores.size(), 4u) << GetParam().name;
+  double sum = 0.0;
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0) << GetParam().name;
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6) << GetParam().name;
+}
+
+TEST_P(ClassifierSuite, ResetForgetsEverything) {
+  StreamSchema schema(4, 2);
+  auto clf = GetParam().make(schema);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) clf->Train(DrawGaussianTask(&rng, 4));
+  clf->Reset();
+  // After reset the scores must be (near) uninformative on both classes.
+  Instance a = DrawGaussianTask(&rng, 4);
+  auto scores = clf->PredictScores(a);
+  EXPECT_NEAR(scores[0], scores[1], 0.2) << GetParam().name;
+}
+
+TEST_P(ClassifierSuite, CloneIsFreshAndIndependent) {
+  StreamSchema schema(4, 2);
+  auto clf = GetParam().make(schema);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) clf->Train(DrawGaussianTask(&rng, 4));
+  auto clone = clf->Clone();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->schema().num_classes, 2);
+  // The clone is untrained: training it must not affect the original.
+  Instance probe = DrawGaussianTask(&rng, 4);
+  auto before = clf->PredictScores(probe);
+  for (int i = 0; i < 100; ++i) clone->Train(DrawGaussianTask(&rng, 4));
+  auto after = clf->PredictScores(probe);
+  EXPECT_EQ(before, after) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassifiers, ClassifierSuite,
+    ::testing::Values(
+        NamedClassifier{"SoftmaxPerceptron",
+                        [](const StreamSchema& s) {
+                          return std::make_unique<SoftmaxPerceptron>(s);
+                        }},
+        NamedClassifier{"GaussianNB",
+                        [](const StreamSchema& s) {
+                          return std::make_unique<GaussianNaiveBayes>(s);
+                        }},
+        NamedClassifier{"CSPerceptronTree",
+                        [](const StreamSchema& s) {
+                          return std::make_unique<CsPerceptronTree>(s);
+                        }}),
+    [](const ::testing::TestParamInfo<NamedClassifier>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------------------ cost-sensitivity
+TEST(SoftmaxPerceptronTest, CostWeightBoostsMinority) {
+  StreamSchema schema(2, 2);
+  SoftmaxPerceptron clf(schema);
+  Rng rng(3);
+  // 95:5 imbalance.
+  for (int i = 0; i < 2000; ++i) {
+    int y = rng.Bernoulli(0.05) ? 1 : 0;
+    clf.Train(Instance({rng.NextDouble(), rng.NextDouble()}, y));
+  }
+  EXPECT_GT(clf.CostWeight(1), clf.CostWeight(0));
+  EXPECT_GE(clf.CostWeight(1), 2.0);
+}
+
+TEST(SoftmaxPerceptronTest, CostSensitiveImprovesMinorityRecall) {
+  StreamSchema schema(2, 2);
+  SoftmaxPerceptron::Params cs;
+  cs.cost_sensitive = true;
+  SoftmaxPerceptron::Params plain;
+  plain.cost_sensitive = false;
+  SoftmaxPerceptron with_cs(schema, cs), without(schema, plain);
+
+  auto draw = [](Rng* rng) {
+    // Overlapping classes, 97:3 imbalance: cost-blind learners collapse to
+    // the majority.
+    int y = rng->Bernoulli(0.03) ? 1 : 0;
+    double center = y == 0 ? 0.45 : 0.55;
+    return Instance({rng->Gaussian(center, 0.08), rng->Gaussian(center, 0.08)},
+                    y);
+  };
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    Instance inst = draw(&rng);
+    with_cs.Train(inst);
+    without.Train(inst);
+  }
+  int rec_cs = 0, rec_plain = 0, n1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Instance inst = draw(&rng);
+    if (inst.label != 1) continue;
+    ++n1;
+    rec_cs += with_cs.Predict(inst) == 1;
+    rec_plain += without.Predict(inst) == 1;
+  }
+  ASSERT_GT(n1, 100);
+  EXPECT_GT(static_cast<double>(rec_cs) / n1,
+            static_cast<double>(rec_plain) / n1 + 0.1);
+}
+
+// ----------------------------------------------------------------- NB
+TEST(GaussianNaiveBayesTest, UsesFeatureLikelihood) {
+  StreamSchema schema(1, 2);
+  GaussianNaiveBayes nb(schema);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    nb.Train(Instance({rng.Gaussian(0.2, 0.05)}, 0));
+    nb.Train(Instance({rng.Gaussian(0.8, 0.05)}, 1));
+  }
+  EXPECT_EQ(nb.Predict(Instance({0.15}, -1)), 0);
+  EXPECT_EQ(nb.Predict(Instance({0.85}, -1)), 1);
+  auto s = nb.PredictScores(Instance({0.2}, -1));
+  EXPECT_GT(s[0], 0.95);
+}
+
+// ----------------------------------------------------------------- tree
+TEST(CsPerceptronTreeTest, SplitsOnAxisAlignedStructure) {
+  StreamSchema schema(2, 2);  // Binary band task below.
+  CsPerceptronTree::Params p;
+  p.grace_period = 100;
+  p.max_depth = 6;
+  CsPerceptronTree tree(schema, p);
+  Rng rng(3);
+  // Three well-separated bands along feature 0: the Gaussian class models
+  // see distinct means, so the tree must split (and beat a single leaf).
+  auto draw = [&rng]() {
+    double x = rng.NextDouble(), y = rng.NextDouble();
+    int label = x < 0.33 ? 0 : 1;
+    return Instance({x, y}, label);
+  };
+  for (int i = 0; i < 20000; ++i) tree.Train(draw());
+  EXPECT_GT(tree.num_leaves(), 1) << "tree never split";
+  int correct = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    Instance inst = draw();
+    if (tree.Predict(inst) == inst.label) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(0.9 * n));
+}
+
+TEST(CsPerceptronTreeTest, RespectsDepthAndLeafCaps) {
+  StreamSchema schema(4, 3);
+  CsPerceptronTree::Params p;
+  p.grace_period = 50;
+  p.max_depth = 3;
+  p.max_leaves = 6;
+  CsPerceptronTree tree(schema, p);
+  Rng rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    std::vector<double> x = {rng.NextDouble(), rng.NextDouble(),
+                             rng.NextDouble(), rng.NextDouble()};
+    int label = static_cast<int>(x[0] * 2.9999) % 3;
+    tree.Train(Instance(x, label));
+  }
+  EXPECT_LE(tree.depth(), 3);
+  EXPECT_LE(tree.num_leaves(), 6);
+}
+
+TEST(CsPerceptronTreeTest, MulticlassOnRbfConcept) {
+  RbfConcept::Options o;
+  o.num_features = 8;
+  o.num_classes = 5;
+  RbfConcept gen(o, 3);
+  CsPerceptronTree tree(gen.schema());
+  Rng rng(7);
+  for (int i = 0; i < 8000; ++i) tree.Train(gen.Sample(&rng));
+  int correct = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    Instance inst = gen.Sample(&rng);
+    if (tree.Predict(inst) == inst.label) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(0.75 * n));
+}
+
+}  // namespace
+}  // namespace ccd

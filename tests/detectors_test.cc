@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "detectors/adwin.h"
+#include "detectors/ddm.h"
+#include "detectors/ddm_oci.h"
+#include "detectors/detector.h"
+#include "detectors/eddm.h"
+#include "detectors/fhddm.h"
+#include "detectors/hddm.h"
+#include "detectors/perfsim.h"
+#include "detectors/rddm.h"
+#include "detectors/ecdd.h"
+#include "detectors/page_hinkley.h"
+#include "detectors/wstd.h"
+#include "utils/rng.h"
+
+namespace ccd {
+namespace {
+
+/// Drives an error-rate detector with a Bernoulli error stream whose rate
+/// jumps from p0 to p1 at `change_at`. Returns the first detection index
+/// (or -1) and the number of detections before the change (false alarms).
+struct DriveResult {
+  long long first_detection = -1;
+  int false_alarms = 0;
+  int total_detections = 0;
+};
+
+DriveResult DriveErrorStream(ErrorRateDetector* detector, double p0, double p1,
+                             int change_at, int total, uint64_t seed) {
+  Rng rng(seed);
+  DriveResult out;
+  for (int i = 0; i < total; ++i) {
+    double p = i < change_at ? p0 : p1;
+    detector->AddError(rng.Bernoulli(p));
+    if (detector->state() == DetectorState::kDrift) {
+      ++out.total_detections;
+      if (i < change_at) {
+        ++out.false_alarms;
+      } else if (out.first_detection < 0) {
+        out.first_detection = i - change_at;
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- shared tests
+// Parameterized over all error-rate detectors: each must (a) stay quiet on
+// a stationary error stream and (b) fire after a large error-rate jump.
+using DetectorFactory = std::function<std::unique_ptr<ErrorRateDetector>()>;
+
+struct NamedFactory {
+  std::string name;
+  DetectorFactory make;
+};
+
+class ErrorDetectorSuite : public ::testing::TestWithParam<NamedFactory> {};
+
+TEST_P(ErrorDetectorSuite, QuietOnStationaryStream) {
+  auto detector = GetParam().make();
+  DriveResult r =
+      DriveErrorStream(detector.get(), 0.2, 0.2, 20000, 20000, 42);
+  // Allow a small number of spurious alarms over 20k stationary instances
+  // (detectors test repeatedly, so nominal significance accumulates).
+  EXPECT_LE(r.total_detections, 5) << GetParam().name;
+}
+
+TEST_P(ErrorDetectorSuite, DetectsLargeErrorJump) {
+  auto detector = GetParam().make();
+  DriveResult r = DriveErrorStream(detector.get(), 0.1, 0.6, 10000, 20000, 42);
+  EXPECT_GE(r.first_detection, 0) << GetParam().name;
+  EXPECT_LT(r.first_detection, 2500) << GetParam().name;
+}
+
+TEST_P(ErrorDetectorSuite, ResetRestoresStableState) {
+  auto detector = GetParam().make();
+  DriveErrorStream(detector.get(), 0.1, 0.9, 500, 1500, 42);
+  detector->Reset();
+  EXPECT_EQ(detector->state(), DetectorState::kStable) << GetParam().name;
+}
+
+TEST_P(ErrorDetectorSuite, SurvivesAllErrorAndAllCorrectRuns) {
+  auto detector = GetParam().make();
+  for (int i = 0; i < 500; ++i) detector->AddError(true);
+  for (int i = 0; i < 500; ++i) detector->AddError(false);
+  SUCCEED();  // No crash / no NaN poisoning.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllErrorDetectors, ErrorDetectorSuite,
+    ::testing::Values(
+        NamedFactory{"DDM", [] { return std::make_unique<Ddm>(); }},
+        NamedFactory{"EDDM",
+                     [] {
+                       // EDDM is tuned for slow drifts; default betas are
+                       // noisy on abrupt synthetic streams, so relax them.
+                       Eddm::Params p;
+                       p.beta = 0.85;
+                       p.alpha = 0.90;
+                       return std::make_unique<Eddm>(p);
+                     }},
+        NamedFactory{"RDDM", [] { return std::make_unique<Rddm>(); }},
+        NamedFactory{"ADWIN", [] { return std::make_unique<Adwin>(); }},
+        NamedFactory{"HDDM-A", [] { return std::make_unique<HddmA>(); }},
+        NamedFactory{"FHDDM", [] { return std::make_unique<Fhddm>(); }},
+        NamedFactory{"PageHinkley",
+                     [] { return std::make_unique<PageHinkley>(); }},
+        NamedFactory{"ECDD", [] { return std::make_unique<Ecdd>(); }},
+        NamedFactory{"WSTD", [] { return std::make_unique<Wstd>(); }}),
+    [](const ::testing::TestParamInfo<NamedFactory>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --------------------------------------------------------------- DDM basics
+TEST(DdmTest, WarningPrecedesDrift) {
+  Ddm ddm;
+  Rng rng(3);
+  bool saw_warning = false;
+  for (int i = 0; i < 5000; ++i) {
+    ddm.AddError(rng.Bernoulli(0.05));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    ddm.AddError(rng.Bernoulli(0.5));
+    if (ddm.state() == DetectorState::kWarning) saw_warning = true;
+    if (ddm.state() == DetectorState::kDrift) break;
+  }
+  EXPECT_TRUE(saw_warning);
+}
+
+TEST(DdmTest, SelfRearmsAfterDrift) {
+  Ddm ddm;
+  Rng rng(3);
+  int drifts = 0;
+  // Two separate jumps; the detector must fire for each.
+  for (int phase = 0; phase < 2; ++phase) {
+    for (int i = 0; i < 3000; ++i) ddm.AddError(rng.Bernoulli(0.05));
+    for (int i = 0; i < 3000; ++i) {
+      ddm.AddError(rng.Bernoulli(0.7));
+      if (ddm.state() == DetectorState::kDrift) {
+        ++drifts;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(drifts, 2);
+}
+
+// ------------------------------------------------------------------- ADWIN
+TEST(AdwinTest, TracksWindowMean) {
+  Adwin adwin;
+  for (int i = 0; i < 1000; ++i) adwin.AddValue(0.5);
+  EXPECT_NEAR(adwin.mean(), 0.5, 1e-9);
+  EXPECT_EQ(adwin.width(), 1000);
+}
+
+TEST(AdwinTest, ShrinksWindowOnChange) {
+  Adwin adwin;
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) adwin.AddValue(rng.Gaussian(0.2, 0.05));
+  long long width_before = adwin.width();
+  bool detected = false;
+  for (int i = 0; i < 3000; ++i) {
+    adwin.AddValue(rng.Gaussian(0.8, 0.05));
+    if (adwin.state() == DetectorState::kDrift) detected = true;
+  }
+  EXPECT_TRUE(detected);
+  EXPECT_LT(adwin.width(), width_before + 3000);
+  EXPECT_NEAR(adwin.mean(), 0.8, 0.1);  // Window converges to new regime.
+}
+
+TEST(AdwinTest, RealValuedSignalsSupported) {
+  // ADWIN must handle non-binary signals (RBM-IM feeds reconstruction
+  // errors): mean shift of a continuous signal.
+  Adwin adwin;
+  Rng rng(7);
+  bool detected = false;
+  for (int i = 0; i < 2000; ++i) adwin.AddValue(rng.Uniform(0.3, 0.4));
+  for (int i = 0; i < 2000; ++i) {
+    adwin.AddValue(rng.Uniform(0.5, 0.6));
+    if (adwin.state() == DetectorState::kDrift) detected = true;
+  }
+  EXPECT_TRUE(detected);
+}
+
+// ------------------------------------------------------------------- FHDDM
+TEST(FhddmTest, ExactThresholdBehaviour) {
+  Fhddm::Params p;
+  p.window_size = 100;
+  p.delta = 1e-6;
+  Fhddm f(p);
+  // Perfect accuracy then sharp degradation: eps = sqrt(ln(1e6)/200) ~ 0.26.
+  for (int i = 0; i < 200; ++i) f.AddError(false);
+  int flips = 0;
+  while (f.state() != DetectorState::kDrift && flips < 100) {
+    f.AddError(true);
+    ++flips;
+  }
+  // Needs ~27 errors in the window to drop p below p_max - eps.
+  EXPECT_GT(flips, 15);
+  EXPECT_LT(flips, 40);
+}
+
+// ----------------------------------------------------------------- PerfSim
+PerfSim::Params PerfSimParams(int classes) {
+  PerfSim::Params p;
+  p.num_classes = classes;
+  p.chunk_size = 200;
+  p.differentiation_weight = 0.2;
+  p.min_errors = 0;
+  return p;
+}
+
+TEST(PerfSimTest, StableConfusionNoDrift) {
+  PerfSim ps(PerfSimParams(3));
+  Rng rng(3);
+  int drifts = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int y = rng.UniformInt(0, 2);
+    int pred = rng.Bernoulli(0.8) ? y : rng.UniformInt(0, 2);
+    ps.Observe(Instance({0.0}, y), pred, {});
+    if (ps.state() == DetectorState::kDrift) ++drifts;
+  }
+  EXPECT_EQ(drifts, 0);
+}
+
+TEST(PerfSimTest, ConfusionShiftDetected) {
+  PerfSim ps(PerfSimParams(3));
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    int y = rng.UniformInt(0, 2);
+    ps.Observe(Instance({0.0}, y), y, {});  // Perfect predictions.
+  }
+  // Class 2 collapses onto class 0: its confusion row shifts entirely.
+  bool detected = false;
+  std::vector<int> flagged;
+  for (int i = 0; i < 5000 && !detected; ++i) {
+    int y = rng.UniformInt(0, 2);
+    int pred = y == 2 ? 0 : y;
+    ps.Observe(Instance({0.0}, y), pred, {});
+    if (ps.state() == DetectorState::kDrift) {
+      detected = true;
+      flagged = ps.drifted_classes();
+    }
+  }
+  EXPECT_TRUE(detected);
+  bool has2 = false;
+  for (int k : flagged) has2 |= (k == 2);
+  EXPECT_TRUE(has2);
+}
+
+// ----------------------------------------------------------------- DDM-OCI
+DdmOci::Params OciParams(int classes) {
+  DdmOci::Params p;
+  p.num_classes = classes;
+  return p;
+}
+
+TEST(DdmOciTest, TracksPerClassRecall) {
+  DdmOci::Params params = OciParams(2);
+  params.min_class_count = 100000;  // Observe only: no detection resets.
+  DdmOci oci(params);
+  // Class 0 always right, class 1 always wrong.
+  for (int i = 0; i < 200; ++i) {
+    oci.Observe(Instance({0.0}, 0), 0, {});
+    oci.Observe(Instance({0.0}, 1), 0, {});
+  }
+  EXPECT_GT(oci.recall(0), 0.9);
+  EXPECT_LT(oci.recall(1), 0.4);
+}
+
+TEST(DdmOciTest, MinorityRecallDropFiresAndNamesClass) {
+  DdmOci oci(OciParams(3));
+  Rng rng(3);
+  // Warm phase: 90% recall everywhere, class 2 is rare (5%).
+  for (int i = 0; i < 20000; ++i) {
+    int y = rng.Bernoulli(0.05) ? 2 : rng.UniformInt(0, 1);
+    int pred = rng.Bernoulli(0.9) ? y : (y + 1) % 3;
+    oci.Observe(Instance({0.0}, y), pred, {});
+  }
+  // Class 2's recall collapses; majority classes unaffected.
+  bool detected = false;
+  std::vector<int> flagged;
+  for (int i = 0; i < 40000 && !detected; ++i) {
+    int y = rng.Bernoulli(0.05) ? 2 : rng.UniformInt(0, 1);
+    int pred = y == 2 ? 0 : (rng.Bernoulli(0.9) ? y : (y + 1) % 3);
+    oci.Observe(Instance({0.0}, y), pred, {});
+    if (oci.state() == DetectorState::kDrift) {
+      detected = true;
+      flagged = oci.drifted_classes();
+    }
+  }
+  ASSERT_TRUE(detected);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 2);
+}
+
+TEST(DdmOciTest, StableRecallStaysQuiet) {
+  DdmOci oci(OciParams(4));
+  Rng rng(5);
+  int drifts = 0;
+  for (int i = 0; i < 30000; ++i) {
+    int y = rng.UniformInt(0, 3);
+    int pred = rng.Bernoulli(0.8) ? y : rng.UniformInt(0, 3);
+    oci.Observe(Instance({0.0}, y), pred, {});
+    if (oci.state() == DetectorState::kDrift) ++drifts;
+  }
+  EXPECT_LE(drifts, 2);
+}
+
+// ------------------------------------------------------- observe interface
+TEST(ErrorRateDetectorTest, ObserveDerivesErrorIndicator) {
+  Ddm ddm;
+  // 100 correct then growing errors via the Observe() interface.
+  for (int i = 0; i < 1000; ++i) {
+    ddm.Observe(Instance({0.0}, 1), 1, {});
+  }
+  bool fired = false;
+  for (int i = 0; i < 1000; ++i) {
+    ddm.Observe(Instance({0.0}, 1), 0, {});  // All wrong now.
+    if (ddm.state() == DetectorState::kDrift) {
+      fired = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(DetectorStateTest, Names) {
+  EXPECT_STREQ(DetectorStateName(DetectorState::kStable), "stable");
+  EXPECT_STREQ(DetectorStateName(DetectorState::kWarning), "warning");
+  EXPECT_STREQ(DetectorStateName(DetectorState::kDrift), "drift");
+}
+
+}  // namespace
+}  // namespace ccd

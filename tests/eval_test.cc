@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "classifiers/naive_bayes.h"
+#include "detectors/ddm.h"
+#include "detectors/fhddm.h"
+#include "eval/confusion.h"
+#include "eval/metrics.h"
+#include "eval/prequential.h"
+#include "eval/self_tuning.h"
+#include "generators/drifting_stream.h"
+#include "generators/rbf.h"
+#include "utils/rng.h"
+
+namespace ccd {
+namespace {
+
+// --------------------------------------------------------------- confusion
+TEST(ConfusionMatrixTest, AccuracyRecallKappa) {
+  ConfusionMatrix cm(2);
+  // 40 TP0, 10 0->1, 5 1->0, 45 TP1.
+  for (int i = 0; i < 40; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.Add(0, 1);
+  for (int i = 0; i < 5; ++i) cm.Add(1, 0);
+  for (int i = 0; i < 45; ++i) cm.Add(1, 1);
+  EXPECT_NEAR(cm.Accuracy(), 0.85, 1e-12);
+  EXPECT_NEAR(cm.Recall(0), 0.8, 1e-12);
+  EXPECT_NEAR(cm.Recall(1), 0.9, 1e-12);
+  EXPECT_NEAR(cm.GMean(), std::sqrt(0.8 * 0.9), 1e-12);
+  // Kappa: po=0.85, pe=0.5*0.45+0.5*0.55=0.5 -> (0.85-0.5)/0.5=0.7.
+  EXPECT_NEAR(cm.Kappa(), 0.7, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, RemoveSupportsSlidingWindows) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  cm.Add(1, 0);
+  cm.Remove(1, 0);
+  EXPECT_NEAR(cm.Accuracy(), 1.0, 1e-12);
+  EXPECT_NEAR(cm.total(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, GMeanZeroWhenClassFullyMissed) {
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 10; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.Add(1, 0);  // Class 1 never predicted.
+  EXPECT_DOUBLE_EQ(cm.GMean(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, GMeanIgnoresAbsentClasses) {
+  ConfusionMatrix cm(3);
+  for (int i = 0; i < 10; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.Add(1, 1);
+  // Class 2 never appears in the window: ignored, not zeroed.
+  EXPECT_NEAR(cm.GMean(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, SmoothedGMeanStaysInformative) {
+  ConfusionMatrix cm(3);
+  for (int i = 0; i < 100; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 100; ++i) cm.Add(1, 1);
+  cm.Add(2, 0);  // One missed rare-class instance: raw G-mean collapses.
+  EXPECT_DOUBLE_EQ(cm.GMean(), 0.0);
+  EXPECT_GT(cm.GMeanSmoothed(), 0.4);
+  EXPECT_LT(cm.GMeanSmoothed(), 1.0);
+}
+
+// ------------------------------------------------------------------- AUC
+TEST(BinaryAucTest, PerfectSeparation) {
+  EXPECT_NEAR(BinaryAuc({0.9, 0.8, 0.7}, {0.3, 0.2, 0.1}), 1.0, 1e-12);
+}
+
+TEST(BinaryAucTest, RandomScoresGiveHalf) {
+  Rng rng(3);
+  std::vector<double> pos, neg;
+  for (int i = 0; i < 3000; ++i) {
+    pos.push_back(rng.NextDouble());
+    neg.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(BinaryAuc(pos, neg), 0.5, 0.03);
+}
+
+TEST(BinaryAucTest, TiesGetMidrankCredit) {
+  // All scores equal: AUC must be exactly 0.5.
+  EXPECT_NEAR(BinaryAuc({0.5, 0.5}, {0.5, 0.5}), 0.5, 1e-12);
+}
+
+TEST(BinaryAucTest, EmptySideReturnsHalf) {
+  EXPECT_DOUBLE_EQ(BinaryAuc({}, {0.1}), 0.5);
+  EXPECT_DOUBLE_EQ(BinaryAuc({0.9}, {}), 0.5);
+}
+
+// ---------------------------------------------------------- windowed metrics
+TEST(WindowedMetricsTest, PmAucPerfectScorer) {
+  WindowedMetrics m(3, 1000);
+  Rng rng(3);
+  for (int i = 0; i < 600; ++i) {
+    int y = rng.UniformInt(0, 2);
+    std::vector<double> scores(3, 0.05);
+    scores[static_cast<size_t>(y)] = 0.9;
+    m.Add(y, y, scores);
+  }
+  EXPECT_NEAR(m.PmAuc(), 1.0, 1e-9);
+  EXPECT_NEAR(m.PmGMean(), 1.0, 0.02);  // Laplace smoothing: slightly < 1.
+}
+
+TEST(WindowedMetricsTest, PmAucRandomScorerNearHalf) {
+  WindowedMetrics m(4, 2000);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    int y = rng.UniformInt(0, 3);
+    std::vector<double> scores = {rng.NextDouble(), rng.NextDouble(),
+                                  rng.NextDouble(), rng.NextDouble()};
+    double total = scores[0] + scores[1] + scores[2] + scores[3];
+    for (double& s : scores) s /= total;
+    int pred = rng.UniformInt(0, 3);
+    m.Add(y, pred, scores);
+  }
+  EXPECT_NEAR(m.PmAuc(), 0.5, 0.05);
+}
+
+TEST(WindowedMetricsTest, WindowEviction) {
+  WindowedMetrics m(2, 100);
+  // First 100: all wrong; next 100: all right. Window holds only the good.
+  for (int i = 0; i < 100; ++i) m.Add(0, 1, {0.1, 0.9});
+  for (int i = 0; i < 100; ++i) m.Add(0, 0, {0.9, 0.1});
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_NEAR(m.Accuracy(), 1.0, 1e-12);
+}
+
+TEST(WindowedMetricsTest, PmAucSkipsAbsentClassPairs) {
+  WindowedMetrics m(5, 100);
+  // Only classes 0 and 1 appear: the metric is the single pairwise AUC.
+  for (int i = 0; i < 50; ++i) {
+    m.Add(0, 0, {0.8, 0.05, 0.05, 0.05, 0.05});
+    m.Add(1, 1, {0.05, 0.8, 0.05, 0.05, 0.05});
+  }
+  EXPECT_NEAR(m.PmAuc(), 1.0, 1e-9);
+}
+
+// --------------------------------------------------------------- prequential
+std::unique_ptr<DriftingClassStream> MakeDriftStream(uint64_t drift_at,
+                                                     uint64_t seed) {
+  RbfConcept::Options co;
+  co.num_features = 6;
+  co.num_classes = 3;
+  std::vector<std::unique_ptr<Concept>> cs;
+  cs.push_back(std::make_unique<RbfConcept>(co, 1));
+  cs.push_back(std::make_unique<RbfConcept>(co, 2));
+  DriftEvent ev;
+  ev.start = drift_at;
+  ev.type = DriftType::kSudden;
+  ImbalanceSchedule::Options io;
+  io.num_classes = 3;
+  io.base_ir = 10.0;
+  return std::make_unique<DriftingClassStream>(
+      std::move(cs), std::vector<DriftEvent>{ev}, ImbalanceSchedule(io), seed);
+}
+
+TEST(PrequentialTest, ProducesSaneMetricsWithoutDetector) {
+  auto stream = MakeDriftStream(1 << 30, 7);  // Effectively no drift.
+  GaussianNaiveBayes clf(stream->schema());
+  PrequentialConfig cfg;
+  cfg.max_instances = 8000;
+  cfg.warmup = 200;
+  PrequentialResult r = RunPrequential(stream.get(), &clf, nullptr, cfg);
+  EXPECT_EQ(r.instances, 8000u);
+  EXPECT_GT(r.mean_pmauc, 0.8);  // RBF concepts are learnable.
+  EXPECT_GT(r.mean_pmgm, 0.5);
+  EXPECT_EQ(r.drifts, 0u);
+  EXPECT_FALSE(r.pmauc_series.empty());
+}
+
+TEST(PrequentialTest, DetectorResetAidsRecovery) {
+  // With a real drift, resetting on detection should not hurt and the
+  // detector should record drift positions after the true change point.
+  auto s1 = MakeDriftStream(5000, 7);
+  auto s2 = MakeDriftStream(5000, 7);
+  GaussianNaiveBayes c1(s1->schema()), c2(s2->schema());
+  Ddm ddm;
+  PrequentialConfig cfg;
+  cfg.max_instances = 10000;
+  cfg.warmup = 200;
+  PrequentialResult with_det = RunPrequential(s1.get(), &c1, &ddm, cfg);
+  PrequentialResult without = RunPrequential(s2.get(), &c2, nullptr, cfg);
+  EXPECT_EQ(without.drifts, 0u);
+  // DDM on a real jump: at least one detection lands after the true change
+  // point (early spurious alarms from young statistics are tolerated).
+  if (with_det.drifts > 0) {
+    bool any_after = false;
+    for (uint64_t pos : with_det.drift_positions) any_after |= pos >= 4500;
+    EXPECT_TRUE(any_after);
+  }
+  // Resetting on detection must not wreck the pipeline.
+  EXPECT_GT(with_det.mean_pmauc, without.mean_pmauc - 0.15);
+}
+
+TEST(PrequentialTest, WarmupExcludedFromMetrics) {
+  auto stream = MakeDriftStream(1 << 30, 9);
+  GaussianNaiveBayes clf(stream->schema());
+  PrequentialConfig cfg;
+  cfg.max_instances = 3000;
+  cfg.warmup = 2900;
+  cfg.eval_interval = 10;
+  PrequentialResult r = RunPrequential(stream.get(), &clf, nullptr, cfg);
+  // Only ~100 post-warmup instances: few samples, all sane.
+  for (const auto& [pos, v] : r.pmauc_series) {
+    EXPECT_GE(pos, 2900u);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(PrequentialTest, TimingAccumulates) {
+  auto stream = MakeDriftStream(1 << 30, 11);
+  GaussianNaiveBayes clf(stream->schema());
+  Ddm ddm;
+  PrequentialConfig cfg;
+  cfg.max_instances = 3000;
+  cfg.timing = true;
+  PrequentialResult r = RunPrequential(stream.get(), &clf, &ddm, cfg);
+  EXPECT_GT(r.classifier_seconds, 0.0);
+  EXPECT_GT(r.detector_seconds, 0.0);
+}
+
+TEST(SelfTuningTest, FindsBetterFhddmDelta) {
+  // Tune FHDDM's log10(delta) on a drifting prefix: the objective is the
+  // prequential pmAUC of the standard pipeline. The tuner must return a
+  // parameter no worse than the grid's worst corner.
+  auto evaluate = [](const std::vector<double>& params) {
+    auto stream = MakeDriftStream(3000, 13);
+    GaussianNaiveBayes clf(stream->schema());
+    Fhddm::Params fp;
+    fp.delta = std::pow(10.0, params[0]);
+    Fhddm detector(fp);
+    PrequentialConfig cfg;
+    cfg.max_instances = 6000;
+    cfg.warmup = 200;
+    cfg.timing = false;
+    return RunPrequential(stream.get(), &clf, &detector, cfg).mean_pmauc;
+  };
+  SelfTuningResult r =
+      SelfTuneOnPrefix(evaluate, {-4.0}, {-7.0}, {-1.0}, /*budget=*/12);
+  EXPECT_GE(r.evaluations, 3);
+  EXPECT_GE(r.best_metric, evaluate({-7.0}) - 0.02);
+  EXPECT_GE(r.best_params[0], -7.0);
+  EXPECT_LE(r.best_params[0], -1.0);
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,0 +1,113 @@
+// End-to-end integration tests: registry streams -> base classifier ->
+// detector -> prequential metrics, exercising the exact pipeline the
+// benchmark harnesses run.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "classifiers/cs_perceptron_tree.h"
+#include "core/rbm_im.h"
+#include "detectors/ddm_oci.h"
+#include "detectors/fhddm.h"
+#include "detectors/perfsim.h"
+#include "eval/prequential.h"
+#include "generators/registry.h"
+
+namespace ccd {
+namespace {
+
+PrequentialResult RunPipeline(const std::string& stream_name,
+                              const std::string& detector, double scale,
+                              BuildOptions base = {}) {
+  const StreamSpec* spec = FindStreamSpec(stream_name);
+  EXPECT_NE(spec, nullptr) << stream_name;
+  base.scale = scale;
+  BuiltStream built = BuildStream(*spec, base);
+
+  CsPerceptronTree classifier(built.stream->schema());
+  std::unique_ptr<DriftDetector> det;
+  if (detector == "RBM-IM") {
+    RbmIm::Params p;
+    p.num_features = spec->num_features;
+    p.num_classes = spec->num_classes;
+    det = std::make_unique<RbmIm>(p, base.seed);
+  } else if (detector == "DDM-OCI") {
+    DdmOci::Params p;
+    p.num_classes = spec->num_classes;
+    det = std::make_unique<DdmOci>(p);
+  } else if (detector == "PerfSim") {
+    PerfSim::Params p;
+    p.num_classes = spec->num_classes;
+    det = std::make_unique<PerfSim>(p);
+  } else if (detector == "FHDDM") {
+    det = std::make_unique<Fhddm>();
+  }
+
+  PrequentialConfig cfg;
+  cfg.max_instances = built.length;
+  cfg.warmup = 500;
+  return RunPrequential(built.stream.get(), &classifier, det.get(), cfg);
+}
+
+TEST(IntegrationTest, Rbf5PipelineWithRbmIm) {
+  PrequentialResult r = RunPipeline("RBF5", "RBM-IM", 0.02);
+  EXPECT_GT(r.mean_pmauc, 0.75);  // RBF concepts are learnable.
+  EXPECT_GT(r.mean_pmgm, 0.3);
+  EXPECT_GE(r.drifts, 1u);   // Three injected drifts.
+  EXPECT_LE(r.drifts, 25u);  // Not thrashing.
+}
+
+TEST(IntegrationTest, AllPaperDetectorsRunOnMulticlassStream) {
+  for (const char* det : {"RBM-IM", "DDM-OCI", "PerfSim", "FHDDM"}) {
+    PrequentialResult r = RunPipeline("RBF10", det, 0.008);
+    EXPECT_GT(r.mean_pmauc, 0.5) << det;
+    EXPECT_EQ(r.instances, 8000u) << det;
+  }
+}
+
+TEST(IntegrationTest, RealWorldSubstituteRuns) {
+  PrequentialResult r = RunPipeline("Gas", "RBM-IM", 0.6);
+  EXPECT_GT(r.mean_pmauc, 0.5);
+  EXPECT_GT(r.instances, 8000u);
+}
+
+TEST(IntegrationTest, TwoClassStreamRuns) {
+  // Binary streams (EEG/Electricity substitutes) exercise the K=2 paths.
+  PrequentialResult r = RunPipeline("Electricity", "RBM-IM", 0.25);
+  EXPECT_GT(r.mean_pmauc, 0.5);
+}
+
+TEST(IntegrationTest, ManyClassStreamRuns) {
+  // Crimes substitute has 39 classes: stresses per-class monitors.
+  PrequentialResult r = RunPipeline("Crimes", "RBM-IM", 0.01);
+  EXPECT_GT(r.mean_pmauc, 0.5);
+}
+
+TEST(IntegrationTest, LocalDriftExperimentPath) {
+  // Experiment 2 configuration: only the smallest class drifts.
+  BuildOptions o;
+  o.local_drift_classes = 1;
+  PrequentialResult r = RunPipeline("RBF5", "RBM-IM", 0.02, o);
+  EXPECT_GT(r.mean_pmauc, 0.7);
+}
+
+TEST(IntegrationTest, IrSweepExperimentPath) {
+  // Experiment 3 configuration: IR override at 500.
+  BuildOptions o;
+  o.ir_override = 500.0;
+  PrequentialResult r = RunPipeline("RBF5", "RBM-IM", 0.02, o);
+  EXPECT_GT(r.mean_pmauc, 0.6);
+}
+
+TEST(IntegrationTest, RoleSwitchingScenarioRuns) {
+  // Scenario 2: dynamic IR with rotating class roles.
+  BuildOptions o;
+  o.role_switching = true;
+  PrequentialResult r = RunPipeline("RBF5", "RBM-IM", 0.02, o);
+  EXPECT_GT(r.mean_pmauc, 0.6);
+  EXPECT_EQ(r.instances, 20000u);
+}
+
+}  // namespace
+}  // namespace ccd

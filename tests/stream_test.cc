@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "stream/instance.h"
+#include "stream/normalizer.h"
+#include "stream/stream.h"
+#include "stream/window.h"
+
+namespace ccd {
+namespace {
+
+TEST(SchemaTest, Validity) {
+  EXPECT_TRUE(StreamSchema(3, 2).Valid());
+  EXPECT_FALSE(StreamSchema(0, 2).Valid());
+  EXPECT_FALSE(StreamSchema(3, 1).Valid());
+}
+
+TEST(VectorStreamTest, ReplaysInOrder) {
+  std::vector<Instance> data = {Instance({0.0}, 0), Instance({1.0}, 1)};
+  VectorStream s(StreamSchema(1, 2), data);
+  EXPECT_EQ(s.position(), 0u);
+  EXPECT_EQ(s.Next().label, 0);
+  EXPECT_EQ(s.Next().label, 1);
+  EXPECT_EQ(s.position(), 2u);
+}
+
+TEST(VectorStreamTest, LoopWrapsAround) {
+  std::vector<Instance> data = {Instance({0.0}, 0), Instance({1.0}, 1)};
+  VectorStream s(StreamSchema(1, 2), data, /*loop=*/true);
+  s.Next();
+  s.Next();
+  EXPECT_EQ(s.Next().label, 0);
+}
+
+TEST(TakeTest, MaterializesN) {
+  std::vector<Instance> data = {Instance({0.0}, 0)};
+  VectorStream s(StreamSchema(1, 2), data, true);
+  auto out = Take(&s, 5);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(SlidingWindowTest, EvictsOldestAndTracksSum) {
+  SlidingWindow w(3);
+  w.Push(1.0);
+  w.Push(2.0);
+  w.Push(3.0);
+  EXPECT_TRUE(w.Full());
+  EXPECT_DOUBLE_EQ(w.Sum(), 6.0);
+  w.Push(4.0);  // Evicts 1.0.
+  EXPECT_DOUBLE_EQ(w.Sum(), 9.0);
+  EXPECT_DOUBLE_EQ(w.Front(), 2.0);
+  EXPECT_DOUBLE_EQ(w.Back(), 4.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 3.0);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindowTest, ClearResets) {
+  SlidingWindow w(2);
+  w.Push(5.0);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.Mean(), 0.0);
+}
+
+TEST(BatcherTest, SignalsFullBatches) {
+  Batcher<int> b(3);
+  EXPECT_FALSE(b.Push(1));
+  EXPECT_FALSE(b.Push(2));
+  EXPECT_TRUE(b.Push(3));
+  auto batch = b.TakeBatch();
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(NormalizerTest, MapsIntoUnitInterval) {
+  MinMaxNormalizer n(2);
+  n.Observe({0.0, -10.0});
+  n.Observe({10.0, 10.0});
+  auto t = n.Transform({5.0, 0.0});
+  EXPECT_NEAR(t[0], 0.5, 1e-12);
+  EXPECT_NEAR(t[1], 0.5, 1e-12);
+}
+
+TEST(NormalizerTest, ClampsOutOfRange) {
+  MinMaxNormalizer n(1);
+  n.Observe({0.0});
+  n.Observe({1.0});
+  EXPECT_DOUBLE_EQ(n.Transform({5.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(n.Transform({-5.0})[0], 0.0);
+}
+
+TEST(NormalizerTest, ConstantFeatureMapsToHalf) {
+  MinMaxNormalizer n(1);
+  n.Observe({3.0});
+  n.Observe({3.0});
+  EXPECT_DOUBLE_EQ(n.Transform({3.0})[0], 0.5);
+}
+
+TEST(NormalizerTest, UnseenReturnsHalf) {
+  MinMaxNormalizer n(2);
+  auto t = n.Transform({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(t[0], 0.5);
+  EXPECT_DOUBLE_EQ(t[1], 0.5);
+}
+
+}  // namespace
+}  // namespace ccd
