@@ -6,34 +6,42 @@
 //   * skew-insensitive loss: class-balanced on vs off (Eq. 13), evaluated
 //     on a high-IR stream where the difference should matter.
 //
+// Each variant is the same registered "RBM-IM" component with ParamMap
+// overrides — the ablation needs no dedicated detector names.
+//
 // Usage: bench_ablation [--scale 0.01] [--seed 42] [--csv ablation.csv]
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "harness.h"
+#include "api/api.h"
 #include "utils/cli.h"
 #include "utils/table.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   ccd::Cli cli(argc, argv);
   double scale = cli.GetDouble("scale", 0.01);
   uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
 
-  const std::vector<std::string> variants = {
-      "RBM-IM",           // combined trigger, class-balanced (default)
-      "RBM-IM-granger",   // trend/Granger path only
-      "RBM-IM-adwin",     // per-class ADWIN only
-      "RBM-IM-nobalance"  // combined trigger, plain (skew-sensitive) loss
+  struct Variant {
+    std::string label;
+    ccd::api::ParamMap params;
+  };
+  const std::vector<Variant> variants = {
+      {"RBM-IM", {}},  // combined trigger, class-balanced (default)
+      {"RBM-IM-granger", {"trigger=granger"}},  // trend/Granger path only
+      {"RBM-IM-adwin", {"trigger=adwin"}},      // per-class ADWIN only
+      // Combined trigger, plain (skew-sensitive) loss.
+      {"RBM-IM-nobalance", {"class_balanced=false"}},
   };
   const std::vector<std::string> streams = {"RBF5", "RBF10", "RBF20",
                                             "Aggrawal10", "Hyperplane10"};
 
   ccd::Table table;
   std::vector<std::string> header = {"Dataset", "IR"};
-  for (const auto& v : variants) header.push_back(v + ":pmAUC");
-  for (const auto& v : variants) header.push_back(v + ":drifts");
+  for (const auto& v : variants) header.push_back(v.label + ":pmAUC");
+  for (const auto& v : variants) header.push_back(v.label + ":drifts");
   table.SetHeader(header);
 
   for (const std::string& stream_name : streams) {
@@ -48,8 +56,11 @@ int main(int argc, char** argv) {
       std::vector<std::string> row = {stream_name, ccd::Table::Num(ir, 0)};
       std::vector<std::string> drift_cells;
       for (const auto& v : variants) {
-        ccd::PrequentialResult r =
-            ccd::bench::EvaluateDetectorOnStream(*spec, options, v);
+        ccd::PrequentialResult r = ccd::api::Experiment()
+                                       .Stream(*spec)
+                                       .Options(options)
+                                       .Detector("RBM-IM", v.params)
+                                       .Run();
         row.push_back(ccd::Table::Num(100.0 * r.mean_pmauc));
         drift_cells.push_back(std::to_string(r.drifts));
       }
@@ -64,4 +75,7 @@ int main(int argc, char** argv) {
   std::string csv = cli.GetString("csv", "");
   if (!csv.empty() && table.WriteCsv(csv)) std::printf("wrote %s\n", csv.c_str());
   return 0;
+} catch (const ccd::api::ApiError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

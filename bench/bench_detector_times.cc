@@ -10,7 +10,7 @@
 
 #include <memory>
 
-#include "harness.h"
+#include "api/api.h"
 #include "stream/stream.h"
 #include "utils/rng.h"
 
@@ -43,7 +43,7 @@ void DetectorObserve(benchmark::State& state, const std::string& name) {
   int k = static_cast<int>(state.range(0));
   int d = static_cast<int>(state.range(1));
   Workload w(d, k, 4096);
-  auto detector = ccd::bench::MakeDetector(name, w.schema, 7);
+  auto detector = ccd::api::MakeDetector(name, w.schema, 7);
   size_t i = 0;
   for (auto _ : state) {
     detector->Observe(w.instances[i], w.predictions[i], w.scores[i]);

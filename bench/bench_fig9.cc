@@ -7,35 +7,28 @@
 //              [--detectors ...] [--csv fig9.csv]
 
 #include <cstdio>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "harness.h"
+#include "bench_util.h"
 #include "utils/cli.h"
 #include "utils/table.h"
 
 namespace {
 
-std::vector<std::string> SplitCsv(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
+using ccd::bench::SplitCsv;
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   ccd::Cli cli(argc, argv);
   double scale = cli.GetDouble("scale", 0.005);
   uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
   std::vector<std::string> detectors =
       SplitCsv(cli.GetString("detectors", "WSTD,RDDM,FHDDM,PerfSim,DDM-OCI,RBM-IM"));
   std::vector<std::string> stream_filter = SplitCsv(cli.GetString("streams", ""));
+  ccd::bench::RequireDetectors(detectors);
+  ccd::bench::RequireStreams(stream_filter, /*artificial_only=*/true);
 
   const std::vector<double> kIrLevels = {50, 100, 200, 300, 400, 500};
 
@@ -58,8 +51,11 @@ int main(int argc, char** argv) {
 
       std::vector<std::string> row = {spec.name, ccd::Table::Num(ir, 0)};
       for (const auto& d : detectors) {
-        ccd::PrequentialResult r =
-            ccd::bench::EvaluateDetectorOnStream(spec, options, d);
+        ccd::PrequentialResult r = ccd::api::Experiment()
+                                       .Stream(spec)
+                                       .Options(options)
+                                       .Detector(d)
+                                       .Run();
         row.push_back(ccd::Table::Num(100.0 * r.mean_pmauc));
       }
       table.AddRow(row);
@@ -73,4 +69,7 @@ int main(int argc, char** argv) {
   std::string csv = cli.GetString("csv", "");
   if (!csv.empty() && table.WriteCsv(csv)) std::printf("wrote %s\n", csv.c_str());
   return 0;
+} catch (const ccd::api::ApiError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness.h"
+#include "generators/registry.h"
 #include "utils/cli.h"
 #include "utils/table.h"
 

@@ -17,26 +17,17 @@
 // EXPERIMENTS.md for shape stability across scales).
 
 #include <cstdio>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "harness.h"
+#include "bench_util.h"
 #include "stats/ranking.h"
 #include "utils/cli.h"
 #include "utils/table.h"
 
 namespace {
 
-std::vector<std::string> SplitCsv(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
+using ccd::bench::SplitCsv;
 
 void PrintGrids() {
   std::printf(
@@ -54,7 +45,7 @@ void PrintGrids() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   ccd::Cli cli(argc, argv);
   if (cli.Has("grids")) {
     PrintGrids();
@@ -66,6 +57,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> detectors =
       SplitCsv(cli.GetString("detectors", "WSTD,RDDM,FHDDM,PerfSim,DDM-OCI,RBM-IM"));
   std::vector<std::string> stream_filter = SplitCsv(cli.GetString("streams", ""));
+  ccd::bench::RequireDetectors(detectors);
+  ccd::bench::RequireStreams(stream_filter);
 
   std::vector<ccd::StreamSpec> streams;
   for (const ccd::StreamSpec& spec : ccd::AllStreamSpecs()) {
@@ -96,8 +89,11 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {spec.name};
     std::vector<double> aucs, gms;
     for (size_t d = 0; d < detectors.size(); ++d) {
-      ccd::PrequentialResult r =
-          ccd::bench::EvaluateDetectorOnStream(spec, options, detectors[d]);
+      ccd::PrequentialResult r = ccd::api::Experiment()
+                                     .Stream(spec)
+                                     .Options(options)
+                                     .Detector(detectors[d])
+                                     .Run();
       aucs.push_back(100.0 * r.mean_pmauc);
       gms.push_back(100.0 * r.mean_pmgm);
       test_seconds[d] += r.detector_seconds;
@@ -163,4 +159,7 @@ int main(int argc, char** argv) {
   std::string csv = cli.GetString("csv", "");
   if (!csv.empty() && table.WriteCsv(csv)) std::printf("wrote %s\n", csv.c_str());
   return 0;
+} catch (const ccd::api::ApiError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -1,0 +1,58 @@
+#ifndef CCD_BENCH_BENCH_UTIL_H_
+#define CCD_BENCH_BENCH_UTIL_H_
+
+// Shared helpers of the benchmark binaries: CSV flag splitting and eager
+// validation of sweep filters, so a typo'd --detectors / --streams value
+// aborts with the valid names listed before any evaluation work starts
+// (a full-scale sweep is hours; failing on its last cell is not an
+// acceptable way to report a typo).
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+
+namespace ccd {
+namespace bench {
+
+inline std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Validates every detector name against the registry; throws ApiError
+/// listing the registered detectors on the first unknown name.
+inline void RequireDetectors(const std::vector<std::string>& names) {
+  for (const std::string& name : names) api::Detectors().Require(name);
+}
+
+/// Validates every stream name against the registry — restricted to the
+/// artificial benchmarks when `artificial_only` (fig8/fig9 sweep only
+/// those, so a real-world name would silently match nothing).
+inline void RequireStreams(const std::vector<std::string>& names,
+                           bool artificial_only = false) {
+  const std::vector<StreamSpec> specs =
+      artificial_only ? ArtificialStreamSpecs() : AllStreamSpecs();
+  for (const std::string& name : names) {
+    bool known = false;
+    for (const StreamSpec& s : specs) known = known || s.name == name;
+    if (!known) {
+      std::string msg = std::string("unknown ") +
+                        (artificial_only ? "artificial " : "") + "stream '" +
+                        name + "'; this bench sweeps:";
+      for (const StreamSpec& s : specs) msg += " " + s.name;
+      throw api::ApiError(msg);
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace ccd
+
+#endif  // CCD_BENCH_BENCH_UTIL_H_

@@ -12,8 +12,7 @@
 #include <memory>
 #include <vector>
 
-#include "classifiers/cs_perceptron_tree.h"
-#include "core/rbm_im.h"
+#include "api/api.h"
 #include "eval/confusion.h"
 #include "generators/drifting_stream.h"
 #include "generators/rbf.h"
@@ -58,14 +57,13 @@ int main() {
   ccd::DriftingClassStream stream(std::move(concepts), {mutation},
                                   ccd::ImbalanceSchedule(imbalance), 7);
 
-  ccd::CsPerceptronTree classifier(stream.schema());
-  ccd::RbmIm::Params det_params;
-  det_params.num_features = stream.schema().num_features;
-  det_params.num_classes = kClasses;
-  // With IR up to 300 the rare attack families need a longer per-class
-  // warm-up before their reconstruction baselines are trustworthy.
-  det_params.min_batches = 32;
-  ccd::RbmIm detector(det_params, 7);
+  // Components come from the public registry; the stream itself is custom,
+  // so the detector is sized from its schema. With IR up to 300 the rare
+  // attack families need a longer per-class warm-up before their
+  // reconstruction baselines are trustworthy — one string override.
+  auto classifier = ccd::api::MakeClassifier("cs-ptree", stream.schema());
+  auto detector =
+      ccd::api::MakeDetector("RBM-IM", stream.schema(), 7, {"min_batches=32"});
 
   ccd::ConfusionMatrix before(kClasses), after(kClasses);
   const uint64_t kTotal = 80000;
@@ -75,20 +73,20 @@ int main() {
 
   for (uint64_t t = 0; t < kTotal; ++t) {
     ccd::Instance flow = stream.Next();
-    int predicted = classifier.Predict(flow);
+    int predicted = classifier->Predict(flow);
     (t < 40000 ? before : after).Add(flow.label, predicted);
 
-    detector.Observe(flow, predicted, classifier.PredictScores(flow));
-    if (detector.state() == ccd::DetectorState::kDrift) {
+    detector->Observe(flow, predicted, classifier->PredictScores(flow));
+    if (detector->state() == ccd::DetectorState::kDrift) {
       std::printf("t=%6llu  ALERT: behavioural drift in {",
                   static_cast<unsigned long long>(t));
-      for (int k : detector.drifted_classes()) {
+      for (int k : detector->drifted_classes()) {
         std::printf(" %s", kClassNames[k]);
       }
       std::printf(" } -> retraining the classifier\n");
-      classifier.Reset();
+      classifier->Reset();
     }
-    classifier.Train(flow);
+    classifier->Train(flow);
   }
 
   std::printf("\nper-class recall (before / after mutation window):\n");

@@ -11,11 +11,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "classifiers/cs_perceptron_tree.h"
-#include "core/rbm_im.h"
-#include "detectors/ddm_oci.h"
-#include "detectors/fhddm.h"
-#include "generators/registry.h"
+#include "api/api.h"
 
 namespace {
 
@@ -42,23 +38,21 @@ int main() {
   options.local_drift_classes = 2;  // Only classes 9 and 8 (smallest) drift.
 
   // Three identical stream realizations, one per detector, so alarms are
-  // directly comparable.
+  // directly comparable (BuildStream is deterministic in (spec, options)).
   ccd::BuiltStream s1 = ccd::BuildStream(*spec, options);
   ccd::BuiltStream s2 = ccd::BuildStream(*spec, options);
   ccd::BuiltStream s3 = ccd::BuildStream(*spec, options);
 
-  ccd::RbmIm::Params p;
-  p.num_features = spec->num_features;
-  p.num_classes = spec->num_classes;
-  ccd::RbmIm rbm_im(p, 3);
-  ccd::DdmOci::Params oci_params;
-  oci_params.num_classes = spec->num_classes;
-  ccd::DdmOci ddm_oci(oci_params);
-  ccd::Fhddm fhddm;
+  // The three contrasted monitors, by registry name. Their capability
+  // cards already tell the story this demo prints: only RBM-IM and
+  // DDM-OCI carry the kExplainsLocalDrift flag.
+  auto rbm_im = ccd::api::MakeDetector("RBM-IM", s1.stream->schema(), 3);
+  auto ddm_oci = ccd::api::MakeDetector("DDM-OCI", s2.stream->schema(), 3);
+  auto fhddm = ccd::api::MakeDetector("FHDDM", s3.stream->schema(), 3);
 
-  ccd::CsPerceptronTree c1(s1.stream->schema());
-  ccd::CsPerceptronTree c2(s2.stream->schema());
-  ccd::CsPerceptronTree c3(s3.stream->schema());
+  auto c1 = ccd::api::MakeClassifier("cs-ptree", s1.stream->schema());
+  auto c2 = ccd::api::MakeClassifier("cs-ptree", s2.stream->schema());
+  auto c3 = ccd::api::MakeClassifier("cs-ptree", s3.stream->schema());
 
   std::printf(
       "RBF10, local drift on the two smallest classes (9, 8) at t=%llu, "
@@ -69,13 +63,13 @@ int main() {
 
   struct Lane {
     ccd::BuiltStream* built;
-    ccd::CsPerceptronTree* clf;
+    ccd::OnlineClassifier* clf;
     ccd::DriftDetector* det;
     const char* name;
   };
-  Lane lanes[] = {{&s1, &c1, &rbm_im, "RBM-IM"},
-                  {&s2, &c2, &ddm_oci, "DDM-OCI"},
-                  {&s3, &c3, &fhddm, "FHDDM"}};
+  Lane lanes[] = {{&s1, c1.get(), rbm_im.get(), "RBM-IM"},
+                  {&s2, c2.get(), ddm_oci.get(), "DDM-OCI"},
+                  {&s3, c3.get(), fhddm.get(), "FHDDM"}};
 
   for (uint64_t t = 0; t < s1.length; ++t) {
     for (Lane& lane : lanes) {

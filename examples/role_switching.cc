@@ -10,10 +10,8 @@
 
 #include <cstdio>
 
-#include "classifiers/cs_perceptron_tree.h"
-#include "core/rbm_im.h"
+#include "api/api.h"
 #include "eval/metrics.h"
-#include "generators/registry.h"
 
 int main() {
   const ccd::StreamSpec* spec = ccd::FindStreamSpec("RBF10");
@@ -27,11 +25,8 @@ int main() {
   ccd::BuiltStream built = ccd::BuildStream(*spec, options);
   const ccd::ImbalanceSchedule& imbalance = built.stream->imbalance();
 
-  ccd::CsPerceptronTree classifier(built.stream->schema());
-  ccd::RbmIm::Params p;
-  p.num_features = spec->num_features;
-  p.num_classes = spec->num_classes;
-  ccd::RbmIm detector(p, 11);
+  auto classifier = ccd::api::MakeClassifier("cs-ptree", built.stream->schema());
+  auto detector = ccd::api::MakeDetector("RBM-IM", built.stream->schema(), 11);
 
   ccd::WindowedMetrics metrics(spec->num_classes, 1000);
 
@@ -41,22 +36,22 @@ int main() {
 
   for (uint64_t t = 0; t < built.length; ++t) {
     ccd::Instance inst = built.stream->Next();
-    auto scores = classifier.PredictScores(inst);
+    auto scores = classifier->PredictScores(inst);
     int predicted = 0;
     for (size_t c = 1; c < scores.size(); ++c) {
       if (scores[c] > scores[predicted]) predicted = static_cast<int>(c);
     }
     metrics.Add(inst.label, predicted, scores);
 
-    detector.Observe(inst, predicted, scores);
-    if (detector.state() == ccd::DetectorState::kDrift) {
+    detector->Observe(inst, predicted, scores);
+    if (detector->state() == ccd::DetectorState::kDrift) {
       std::printf("t=%6llu  drift detected on classes:",
                   static_cast<unsigned long long>(t));
-      for (int k : detector.drifted_classes()) std::printf(" %d", k);
+      for (int k : detector->drifted_classes()) std::printf(" %d", k);
       std::printf("\n");
-      classifier.Reset();
+      classifier->Reset();
     }
-    classifier.Train(inst);
+    classifier->Train(inst);
 
     if (t % 10000 == 9999) {
       int majority = imbalance.ClassAtRung(t, 0);

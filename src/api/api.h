@@ -1,0 +1,20 @@
+#ifndef CCD_API_API_H_
+#define CCD_API_API_H_
+
+/// Umbrella header of the public `ccd::api` layer:
+///
+///  * ParamMap       — typed `key=value` parameter overrides,
+///  * Registry       — string-keyed, introspectable component factories
+///                     (api::Detectors(), api::Classifiers(),
+///                      api::MakeDetector(), api::MakeClassifier()),
+///  * Experiment     — fluent builder of prequential experiment runs.
+///
+/// Components self-register via CCD_REGISTER_DETECTOR /
+/// CCD_REGISTER_CLASSIFIER; every lookup failure throws api::ApiError with
+/// the registered alternatives spelled out.
+
+#include "api/component_registry.h"
+#include "api/experiment.h"
+#include "api/param_map.h"
+
+#endif  // CCD_API_API_H_

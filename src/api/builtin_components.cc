@@ -1,0 +1,248 @@
+// Registration of every detector and classifier shipped with the library.
+//
+// Each block binds a registry name to a factory that maps ParamMap
+// overrides onto the component's Params struct, so every knob a Params
+// struct exposes is reachable from a `key=value` string (CLI, config,
+// test fixture) without recompiling. Keep the getter key names identical
+// to the Params field names — that is the documented contract.
+
+#include "api/component_registry.h"
+#include "classifiers/cs_perceptron_tree.h"
+#include "classifiers/naive_bayes.h"
+#include "classifiers/perceptron.h"
+#include "core/rbm_im.h"
+#include "detectors/adwin.h"
+#include "detectors/ddm.h"
+#include "detectors/ddm_oci.h"
+#include "detectors/ecdd.h"
+#include "detectors/eddm.h"
+#include "detectors/fhddm.h"
+#include "detectors/hddm.h"
+#include "detectors/page_hinkley.h"
+#include "detectors/perfsim.h"
+#include "detectors/rddm.h"
+#include "detectors/wstd.h"
+
+namespace ccd {
+namespace api {
+namespace {
+
+SoftmaxPerceptron::Params PerceptronParams(const ParamMap& p,
+                                           const std::string& prefix = "") {
+  SoftmaxPerceptron::Params out;
+  out.learning_rate = p.GetDouble(prefix + "learning_rate", out.learning_rate);
+  out.cost_sensitive = p.GetBool(prefix + "cost_sensitive", out.cost_sensitive);
+  out.count_decay = p.GetDouble(prefix + "count_decay", out.count_decay);
+  out.max_cost = p.GetDouble(prefix + "max_cost", out.max_cost);
+  return out;
+}
+
+}  // namespace
+
+// --- Detectors: the paper's six study detectors first (Table III column
+// --- order), then the extra classic baselines.
+
+CCD_REGISTER_DETECTOR(
+    "WSTD", "Wilcoxon rank-sum test drift detector (de Barros et al. 2018)",
+    kNoCaps, [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      Wstd::Params o;
+      o.window_size = p.GetInt("window_size", o.window_size);
+      o.warning_significance =
+          p.GetDouble("warning_significance", o.warning_significance);
+      o.drift_significance =
+          p.GetDouble("drift_significance", o.drift_significance);
+      o.max_old_instances = p.GetInt("max_old_instances", o.max_old_instances);
+      o.check_interval = p.GetInt("check_interval", o.check_interval);
+      return std::make_unique<Wstd>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "RDDM", "Reactive Drift Detection Method (de Barros et al. 2017)",
+    kNoCaps, [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      Rddm::Params o;
+      o.warning_level = p.GetDouble("warning_level", o.warning_level);
+      o.drift_level = p.GetDouble("drift_level", o.drift_level);
+      o.min_errors = p.GetInt("min_errors", o.min_errors);
+      o.min_instances = p.GetInt("min_instances", o.min_instances);
+      o.max_instances = p.GetInt("max_instances", o.max_instances);
+      o.warn_limit = p.GetInt("warn_limit", o.warn_limit);
+      return std::make_unique<Rddm>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "FHDDM", "Fast Hoeffding Drift Detection Method (Pesaranghader 2016)",
+    kNoCaps, [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      Fhddm::Params o;
+      o.window_size = p.GetInt("window_size", o.window_size);
+      o.delta = p.GetDouble("delta", o.delta);
+      return std::make_unique<Fhddm>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "PerfSim", "Confusion-matrix cosine-similarity detector (Antwi 2012)",
+    kExplainsLocalDrift | kNeedsSchema,
+    [](const StreamSchema& schema, uint64_t, const ParamMap& p) {
+      PerfSim::Params o;
+      o.num_classes = schema.num_classes;
+      o.chunk_size = p.GetInt("chunk_size", o.chunk_size);
+      o.differentiation_weight =
+          p.GetDouble("differentiation_weight", o.differentiation_weight);
+      o.min_errors = p.GetInt("min_errors", o.min_errors);
+      return std::make_unique<PerfSim>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "DDM-OCI", "Per-class recall monitor for imbalanced streams (Wang et al.)",
+    kExplainsLocalDrift | kNeedsSchema,
+    [](const StreamSchema& schema, uint64_t, const ParamMap& p) {
+      DdmOci::Params o;
+      o.num_classes = schema.num_classes;
+      o.warning_threshold =
+          p.GetDouble("warning_threshold", o.warning_threshold);
+      o.drift_threshold = p.GetDouble("drift_threshold", o.drift_threshold);
+      o.decay = p.GetDouble("decay", o.decay);
+      o.min_class_count = p.GetInt("min_class_count", o.min_class_count);
+      o.consecutive_violations =
+          p.GetInt("consecutive_violations", o.consecutive_violations);
+      o.max_decay = p.GetDouble("max_decay", o.max_decay);
+      return std::make_unique<DdmOci>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "RBM-IM",
+    "Trainable RBM drift detector for imbalanced streams (the paper's method)",
+    kExplainsLocalDrift | kTrainable | kNeedsSchema,
+    [](const StreamSchema& schema, uint64_t seed, const ParamMap& p) {
+      RbmIm::Params o;
+      o.num_features = schema.num_features;
+      o.num_classes = schema.num_classes;
+      o.batch_size = p.GetInt("batch_size", o.batch_size);
+      o.hidden_ratio = p.GetDouble("hidden_ratio", o.hidden_ratio);
+      o.learning_rate = p.GetDouble("learning_rate", o.learning_rate);
+      o.cd_steps = p.GetInt("cd_steps", o.cd_steps);
+      o.class_balanced = p.GetBool("class_balanced", o.class_balanced);
+      o.beta = p.GetDouble("beta", o.beta);
+      o.trigger = p.GetEnum("trigger", o.trigger,
+                            {{"combined", RbmIm::Trigger::kCombined},
+                             {"zscore", RbmIm::Trigger::kZScore},
+                             {"adwin", RbmIm::Trigger::kAdwinOnly},
+                             {"granger", RbmIm::Trigger::kGranger}});
+      o.jump_sigmas = p.GetDouble("jump_sigmas", o.jump_sigmas);
+      o.cusum_slack = p.GetDouble("cusum_slack", o.cusum_slack);
+      o.cusum_threshold = p.GetDouble("cusum_threshold", o.cusum_threshold);
+      o.baseline_decay = p.GetDouble("baseline_decay", o.baseline_decay);
+      o.sigma_floor = p.GetDouble("sigma_floor", o.sigma_floor);
+      o.granger_window = p.GetInt("granger_window", o.granger_window);
+      o.granger_lag = p.GetInt("granger_lag", o.granger_lag);
+      o.granger_alpha = p.GetDouble("granger_alpha", o.granger_alpha);
+      o.slope_sigmas = p.GetDouble("slope_sigmas", o.slope_sigmas);
+      o.adwin_delta = p.GetDouble("adwin_delta", o.adwin_delta);
+      o.min_batches = p.GetInt("min_batches", o.min_batches);
+      o.warmup_batches = p.GetInt("warmup_batches", o.warmup_batches);
+      o.trend_window_min = p.GetInt("trend_window_min", o.trend_window_min);
+      o.trend_window_max = p.GetInt("trend_window_max", o.trend_window_max);
+      o.post_drift_boost = p.GetInt("post_drift_boost", o.post_drift_boost);
+      o.eval_pool = p.GetInt("eval_pool", o.eval_pool);
+      return std::make_unique<RbmIm>(o, seed);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "DDM", "Drift Detection Method (Gama et al. 2004)", kNoCaps,
+    [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      Ddm::Params o;
+      o.warning_level = p.GetDouble("warning_level", o.warning_level);
+      o.drift_level = p.GetDouble("drift_level", o.drift_level);
+      o.min_instances = p.GetInt("min_instances", o.min_instances);
+      return std::make_unique<Ddm>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "EDDM", "Early Drift Detection Method (Baena-Garcia et al. 2006)",
+    kNoCaps, [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      Eddm::Params o;
+      o.alpha = p.GetDouble("alpha", o.alpha);
+      o.beta = p.GetDouble("beta", o.beta);
+      o.min_errors = p.GetInt("min_errors", o.min_errors);
+      return std::make_unique<Eddm>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "ADWIN", "ADaptive WINdowing (Bifet & Gavalda 2007)", kNoCaps,
+    [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      Adwin::Params o;
+      o.delta = p.GetDouble("delta", o.delta);
+      o.max_buckets = p.GetInt("max_buckets", o.max_buckets);
+      o.min_window = p.GetInt("min_window", o.min_window);
+      o.check_interval = p.GetInt("check_interval", o.check_interval);
+      return std::make_unique<Adwin>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "HDDM-A", "Hoeffding-bound drift detection, A-test (Frias-Blanco 2015)",
+    kNoCaps, [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      HddmA::Params o;
+      o.drift_confidence = p.GetDouble("drift_confidence", o.drift_confidence);
+      o.warning_confidence =
+          p.GetDouble("warning_confidence", o.warning_confidence);
+      o.min_instances = p.GetInt("min_instances", o.min_instances);
+      return std::make_unique<HddmA>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "PageHinkley", "Page-Hinkley sequential change test", kNoCaps,
+    [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      PageHinkley::Params o;
+      o.delta = p.GetDouble("delta", o.delta);
+      o.lambda = p.GetDouble("lambda", o.lambda);
+      o.alpha = p.GetDouble("alpha", o.alpha);
+      o.min_instances = p.GetInt("min_instances", o.min_instances);
+      return std::make_unique<PageHinkley>(o);
+    });
+
+CCD_REGISTER_DETECTOR(
+    "ECDD", "EWMA control chart for the error stream (Ross et al. 2012)",
+    kNoCaps, [](const StreamSchema&, uint64_t, const ParamMap& p) {
+      Ecdd::Params o;
+      o.lambda = p.GetDouble("lambda", o.lambda);
+      o.drift_l = p.GetDouble("drift_l", o.drift_l);
+      o.warning_l = p.GetDouble("warning_l", o.warning_l);
+      o.min_instances = p.GetInt("min_instances", o.min_instances);
+      return std::make_unique<Ecdd>(o);
+    });
+
+// --- Classifiers.
+
+CCD_REGISTER_CLASSIFIER(
+    "cs-ptree",
+    "Adaptive Cost-Sensitive Perceptron Tree (the paper's base classifier)",
+    kNeedsSchema, [](const StreamSchema& schema, uint64_t, const ParamMap& p) {
+      CsPerceptronTree::Params o;
+      o.grace_period = p.GetInt("grace_period", o.grace_period);
+      o.split_confidence =
+          p.GetDouble("split_confidence", o.split_confidence);
+      o.tie_threshold = p.GetDouble("tie_threshold", o.tie_threshold);
+      o.max_depth = p.GetInt("max_depth", o.max_depth);
+      o.max_leaves = p.GetInt("max_leaves", o.max_leaves);
+      o.leaf_params = PerceptronParams(p, "leaf_");
+      return std::make_unique<CsPerceptronTree>(schema, o);
+    });
+
+CCD_REGISTER_CLASSIFIER(
+    "naive-bayes", "Online Gaussian naive Bayes", kNeedsSchema,
+    [](const StreamSchema& schema, uint64_t, const ParamMap&) {
+      return std::make_unique<GaussianNaiveBayes>(schema);
+    });
+
+CCD_REGISTER_CLASSIFIER(
+    "perceptron", "Online multi-class softmax perceptron", kNeedsSchema,
+    [](const StreamSchema& schema, uint64_t, const ParamMap& p) {
+      return std::make_unique<SoftmaxPerceptron>(schema, PerceptronParams(p));
+    });
+
+namespace detail {
+
+void EnsureBuiltinComponentsLinked() {}
+
+}  // namespace detail
+}  // namespace api
+}  // namespace ccd

@@ -1,0 +1,46 @@
+#include "api/component_registry.h"
+
+namespace ccd {
+namespace api {
+
+namespace detail {
+
+Registry<DriftDetector>& DetectorsRaw() {
+  static Registry<DriftDetector>* r = new Registry<DriftDetector>("detector");
+  return *r;
+}
+
+Registry<OnlineClassifier>& ClassifiersRaw() {
+  static Registry<OnlineClassifier>* r =
+      new Registry<OnlineClassifier>("classifier");
+  return *r;
+}
+
+}  // namespace detail
+
+Registry<DriftDetector>& Detectors() {
+  detail::EnsureBuiltinComponentsLinked();
+  return detail::DetectorsRaw();
+}
+
+Registry<OnlineClassifier>& Classifiers() {
+  detail::EnsureBuiltinComponentsLinked();
+  return detail::ClassifiersRaw();
+}
+
+std::unique_ptr<DriftDetector> MakeDetector(const std::string& name,
+                                            const StreamSchema& schema,
+                                            uint64_t seed,
+                                            const ParamMap& params) {
+  return Detectors().Create(name, schema, seed, params);
+}
+
+std::unique_ptr<OnlineClassifier> MakeClassifier(const std::string& name,
+                                                 const StreamSchema& schema,
+                                                 uint64_t seed,
+                                                 const ParamMap& params) {
+  return Classifiers().Create(name, schema, seed, params);
+}
+
+}  // namespace api
+}  // namespace ccd

@@ -1,0 +1,104 @@
+#ifndef CCD_API_PARAM_MAP_H_
+#define CCD_API_PARAM_MAP_H_
+
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccd {
+namespace api {
+
+/// Error type of the public API layer. Every misuse (unknown component,
+/// malformed parameter, missing stream) surfaces as an ApiError whose
+/// message names the offender and, where possible, lists the valid choices.
+class ApiError : public std::runtime_error {
+ public:
+  explicit ApiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Typed view over a set of `key=value` override strings.
+///
+/// ParamMap is how CLI flags, config files and test fixtures reach a
+/// component's Params struct without recompiling: a factory registered with
+/// the component registry receives the map, pulls the knobs it understands
+/// with the typed getters, and the registry rejects whatever is left over —
+/// so a typo like `bacth_size=75` fails loudly instead of being ignored.
+///
+/// Construction parses eagerly and throws ApiError on malformed input:
+/// entries must be non-empty `key=value` with a non-empty key and value,
+/// and duplicate keys are rejected. Typed getters throw when the stored
+/// text does not fully parse as the requested type.
+class ParamMap {
+ public:
+  ParamMap() = default;
+  /// `ParamMap{"batch_size=75", "trigger=granger"}`.
+  ParamMap(std::initializer_list<std::string> overrides);
+  explicit ParamMap(const std::vector<std::string>& overrides);
+
+  /// Parses a whitespace- or comma-separated run of `key=value` tokens,
+  /// e.g. `"batch_size=75 trigger=granger"` (the CLI `--params` format).
+  static ParamMap Parse(const std::string& text);
+
+  /// Inserts one override; throws ApiError on malformed input or duplicate.
+  void Set(const std::string& entry);
+
+  bool Has(const std::string& key) const;
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+
+  /// Typed getters: return `def` when the key is absent; throw ApiError
+  /// when present but unparsable. Reading a key marks it as consumed.
+  int GetInt(const std::string& key, int def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+
+  /// Enum getter: maps the stored token through `choices`
+  /// (e.g. {{"combined", Trigger::kCombined}, {"granger", ...}}); an
+  /// unknown token throws an ApiError listing the valid choices.
+  template <typename E>
+  E GetEnum(const std::string& key, E def,
+            std::initializer_list<std::pair<const char*, E>> choices) const {
+    const std::string* raw = Raw(key);
+    if (raw == nullptr) return def;
+    for (const auto& c : choices) {
+      if (*raw == c.first) return c.second;
+    }
+    std::string msg = "invalid value '" + *raw + "' for parameter '" + key +
+                      "'; valid choices:";
+    for (const auto& c : choices) msg += std::string(" ") + c.first;
+    throw ApiError(msg);
+  }
+
+  /// Keys never touched by any typed getter. A factory's caller uses this
+  /// (via ThrowIfUnused) to reject parameters the component doesn't have.
+  std::vector<std::string> UnusedKeys() const;
+
+  /// Forgets which keys were consumed, so the same map can be validated
+  /// afresh against another consumer (Registry::Create calls this on its
+  /// per-call copy — consumption by one factory must not vouch for the
+  /// next).
+  void ResetUsage() const { used_.clear(); }
+
+  /// Throws ApiError naming `component` and the unused keys, if any.
+  void ThrowIfUnused(const std::string& component) const;
+
+  /// Canonical `key=value` form (sorted by key), re-parsable by Parse().
+  std::string ToString() const;
+
+ private:
+  /// Stored text of `key`, or nullptr; marks the key consumed.
+  const std::string* Raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace api
+}  // namespace ccd
+
+#endif  // CCD_API_PARAM_MAP_H_

@@ -1,18 +1,10 @@
 // End-to-end integration tests: registry streams -> base classifier ->
-// detector -> prequential metrics, exercising the exact pipeline the
-// benchmark harnesses run.
+// detector -> prequential metrics, composed exclusively through the
+// public ccd::api layer — the exact pipeline the benchmark harnesses run.
 
 #include <gtest/gtest.h>
 
-#include <memory>
-
-#include "classifiers/cs_perceptron_tree.h"
-#include "core/rbm_im.h"
-#include "detectors/ddm_oci.h"
-#include "detectors/fhddm.h"
-#include "detectors/perfsim.h"
-#include "eval/prequential.h"
-#include "generators/registry.h"
+#include "api/api.h"
 
 namespace ccd {
 namespace {
@@ -20,34 +12,12 @@ namespace {
 PrequentialResult RunPipeline(const std::string& stream_name,
                               const std::string& detector, double scale,
                               BuildOptions base = {}) {
-  const StreamSpec* spec = FindStreamSpec(stream_name);
-  EXPECT_NE(spec, nullptr) << stream_name;
   base.scale = scale;
-  BuiltStream built = BuildStream(*spec, base);
-
-  CsPerceptronTree classifier(built.stream->schema());
-  std::unique_ptr<DriftDetector> det;
-  if (detector == "RBM-IM") {
-    RbmIm::Params p;
-    p.num_features = spec->num_features;
-    p.num_classes = spec->num_classes;
-    det = std::make_unique<RbmIm>(p, base.seed);
-  } else if (detector == "DDM-OCI") {
-    DdmOci::Params p;
-    p.num_classes = spec->num_classes;
-    det = std::make_unique<DdmOci>(p);
-  } else if (detector == "PerfSim") {
-    PerfSim::Params p;
-    p.num_classes = spec->num_classes;
-    det = std::make_unique<PerfSim>(p);
-  } else if (detector == "FHDDM") {
-    det = std::make_unique<Fhddm>();
-  }
-
-  PrequentialConfig cfg;
-  cfg.max_instances = built.length;
-  cfg.warmup = 500;
-  return RunPrequential(built.stream.get(), &classifier, det.get(), cfg);
+  return api::Experiment()
+      .Stream(stream_name)
+      .Options(base)
+      .Detector(detector)
+      .Run();
 }
 
 TEST(IntegrationTest, Rbf5PipelineWithRbmIm) {
