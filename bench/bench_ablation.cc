@@ -9,13 +9,19 @@
 // Each variant is the same registered "RBM-IM" component with ParamMap
 // overrides — the ablation needs no dedicated detector names.
 //
-// Usage: bench_ablation [--scale 0.01] [--seed 42] [--csv ablation.csv]
+// Usage: bench_ablation [--scale 0.01] [--seed 42] [--threads N]
+//                       [--csv ablation.csv] [--json ablation.json]
+//
+// The (stream, IR, variant) grid runs on api::Suite: each variant is a
+// labeled detector-axis entry; --threads shards the cells (0 = all cores).
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/api.h"
+#include "bench_util.h"
 #include "utils/cli.h"
 #include "utils/table.h"
 
@@ -44,6 +50,16 @@ int main(int argc, char** argv) try {
   for (const auto& v : variants) header.push_back(v.label + ":drifts");
   table.SetHeader(header);
 
+  // Detector axis: the four labeled RBM-IM variants. Stream axis: one
+  // entry per (stream, IR) point with its own options.
+  struct Point {
+    std::string stream;
+    double ir;
+  };
+  std::vector<Point> points;
+  ccd::api::Suite suite;
+  suite.Threads(cli.GetInt("threads", 0));
+  for (const auto& v : variants) suite.Detector("RBM-IM", v.params, v.label);
   for (const std::string& stream_name : streams) {
     const ccd::StreamSpec* spec = ccd::FindStreamSpec(stream_name);
     if (spec == nullptr) continue;
@@ -52,22 +68,32 @@ int main(int argc, char** argv) try {
       options.scale = scale;
       options.seed = seed;
       options.ir_override = ir;
-
-      std::vector<std::string> row = {stream_name, ccd::Table::Num(ir, 0)};
-      std::vector<std::string> drift_cells;
-      for (const auto& v : variants) {
-        ccd::PrequentialResult r = ccd::api::Experiment()
-                                       .Stream(*spec)
-                                       .Options(options)
-                                       .Detector("RBM-IM", v.params)
-                                       .Run();
-        row.push_back(ccd::Table::Num(100.0 * r.mean_pmauc));
-        drift_cells.push_back(std::to_string(r.drifts));
-      }
-      for (auto& c : drift_cells) row.push_back(c);
-      table.AddRow(row);
+      suite.Stream(*spec, options,
+                   stream_name + "@IR" + ccd::Table::Num(ir, 0));
+      points.push_back({stream_name, ir});
     }
-    std::fprintf(stderr, "done %s\n", stream_name.c_str());
+  }
+  std::vector<std::string> entry_streams;
+  for (const Point& p : points) entry_streams.push_back(p.stream);
+  ccd::bench::InstallStreamProgress(suite, entry_streams, variants.size());
+  std::string json = cli.GetString("json", "");
+  if (!json.empty()) suite.Sink(std::make_unique<ccd::api::JsonSink>(json));
+
+  ccd::api::SuiteResult res = suite.Run();
+  for (size_t p = 0; p < points.size(); ++p) {
+    std::vector<std::string> row = {points[p].stream,
+                                    ccd::Table::Num(points[p].ir, 0)};
+    for (size_t v = 0; v < variants.size(); ++v) {
+      const ccd::api::SuiteAggregate& agg =
+          res.aggregates[p * variants.size() + v];
+      row.push_back(ccd::Table::Num(100.0 * agg.pmauc.mean()));
+    }
+    for (size_t v = 0; v < variants.size(); ++v) {
+      const ccd::api::SuiteAggregate& agg =
+          res.aggregates[p * variants.size() + v];
+      row.push_back(ccd::Table::Num(agg.drifts.mean(), 0));
+    }
+    table.AddRow(row);
   }
 
   std::printf("RBM-IM ablation (scale=%.4f)\n\n%s\n", scale,

@@ -1,31 +1,46 @@
-// google-benchmark microbenchmarks for the bottom rows of Table III: the
-// per-batch monitoring ("test") and model-update cost of each detector, as
-// a function of the number of classes and features. The absolute numbers
-// are machine-specific; the paper's *shape* claim is that the statistical
-// detectors (WSTD/RDDM/FHDDM) are cheapest, while among the skew-aware
-// detectors RBM-IM tests faster than PerfSim / DDM-OCI at high K despite
-// being trainable.
+// Microbenchmarks for the bottom rows of Table III: the per-observation
+// monitoring ("test") cost of each detector as a function of the number of
+// classes and features. The absolute numbers are machine-specific; the
+// paper's *shape* claim is that the statistical detectors (WSTD/RDDM/
+// FHDDM) are cheapest, while among the skew-aware detectors RBM-IM tests
+// faster than PerfSim / DDM-OCI at high K despite being trainable.
+//
+// The (workload x detector) grid runs on api::Suite with a custom cell
+// runner that replays a pre-generated (instance, prediction, scores)
+// buffer through DriftDetector::Observe — so the timed loop contains no
+// stream or classifier work. --threads shards the grid; note that timing
+// cells in parallel on a loaded machine perturbs the absolute ns/op
+// (default is 1 thread for quiet numbers).
+//
+// Usage: bench_detector_times [--iters 200000] [--threads 1]
+//                             [--detectors WSTD,...] [--csv times.csv]
+//                             [--json times.json]
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "api/api.h"
+#include "bench_util.h"
 #include "stream/stream.h"
+#include "utils/cli.h"
 #include "utils/rng.h"
+#include "utils/table.h"
 
 namespace {
 
 /// Pre-generates a buffer of (instance, prediction, scores) outcomes so the
-/// benchmark loop measures only DriftDetector::Observe.
+/// timed loop measures only DriftDetector::Observe.
 struct Workload {
   ccd::StreamSchema schema;
   std::vector<ccd::Instance> instances;
   std::vector<int> predictions;
   std::vector<std::vector<double>> scores;
 
-  Workload(int d, int k, size_t n) : schema(d, k, "bench") {
-    ccd::Rng rng(99);
+  Workload(int d, int k, size_t n, uint64_t seed) : schema(d, k, "bench") {
+    ccd::Rng rng(seed);
     for (size_t i = 0; i < n; ++i) {
       std::vector<double> x(static_cast<size_t>(d));
       for (double& v : x) v = rng.NextDouble();
@@ -39,38 +54,72 @@ struct Workload {
   }
 };
 
-void DetectorObserve(benchmark::State& state, const std::string& name) {
-  int k = static_cast<int>(state.range(0));
-  int d = static_cast<int>(state.range(1));
-  Workload w(d, k, 4096);
-  auto detector = ccd::api::MakeDetector(name, w.schema, 7);
-  size_t i = 0;
-  for (auto _ : state) {
-    detector->Observe(w.instances[i], w.predictions[i], w.scores[i]);
-    benchmark::DoNotOptimize(detector->state());
-    i = (i + 1) % w.instances.size();
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-void RegisterAll() {
-  for (const char* name :
-       {"WSTD", "RDDM", "FHDDM", "PerfSim", "DDM-OCI", "RBM-IM"}) {
-    std::string label = std::string("Observe/") + name;
-    auto* b = benchmark::RegisterBenchmark(
-        label.c_str(),
-        [name](benchmark::State& s) { DetectorObserve(s, name); });
-    // (classes, features) pairs matching the artificial benchmark scales.
-    b->Args({5, 20})->Args({10, 40})->Args({20, 80});
-  }
-}
-
 }  // namespace
 
-int main(int argc, char** argv) {
-  RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+int main(int argc, char** argv) try {
+  ccd::Cli cli(argc, argv);
+  const uint64_t iters =
+      static_cast<uint64_t>(cli.GetInt("iters", 200000));
+  std::vector<std::string> detectors = ccd::bench::SplitCsv(
+      cli.GetString("detectors", "WSTD,RDDM,FHDDM,PerfSim,DDM-OCI,RBM-IM"));
+  ccd::bench::RequireDetectors(detectors);
+
+  // (classes, features) pairs matching the artificial benchmark scales,
+  // encoded as synthetic stream-axis specs so the Suite grid machinery
+  // (sharding, deterministic seeding, sinks) applies unchanged.
+  ccd::api::Suite suite;
+  suite.Threads(cli.GetInt("threads", 1)).Detectors(detectors);
+  for (auto [k, d] : {std::pair<int, int>{5, 20}, {10, 40}, {20, 80}}) {
+    ccd::StreamSpec spec;
+    spec.name = "K=" + std::to_string(k) + ",d=" + std::to_string(d);
+    spec.num_classes = k;
+    spec.num_features = d;
+    suite.Stream(spec);
+  }
+  suite.Seed(7);
+  suite.Runner([iters](const ccd::api::SuiteCell& cell) {
+    Workload w(cell.spec.num_features, cell.spec.num_classes, 4096,
+               /*seed=*/99);
+    auto detector = ccd::api::MakeDetector(cell.detector, w.schema,
+                                           cell.options.seed,
+                                           cell.detector_params);
+    ccd::PrequentialResult r;
+    r.instances = iters;
+    auto t0 = std::chrono::steady_clock::now();
+    size_t i = 0;
+    for (uint64_t n = 0; n < iters; ++n) {
+      detector->Observe(w.instances[i], w.predictions[i], w.scores[i]);
+      if (detector->state() == ccd::DetectorState::kDrift) ++r.drifts;
+      i = (i + 1) % w.instances.size();
+    }
+    r.detector_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return r;
+  });
+  std::string json = cli.GetString("json", "");
+  if (!json.empty()) suite.Sink(std::make_unique<ccd::api::JsonSink>(json));
+
+  ccd::api::SuiteResult res = suite.Run();
+
+  ccd::Table table;
+  table.SetHeader({"Workload", "Detector", "iters", "ns/op", "Mitems/s"});
+  for (const ccd::api::SuiteCellResult& cell : res.cells) {
+    double seconds = cell.result.detector_seconds;
+    double ns_per_op = seconds / static_cast<double>(iters) * 1e9;
+    double mitems = seconds > 0.0
+                        ? static_cast<double>(iters) / seconds / 1e6
+                        : 0.0;
+    table.AddRow({cell.cell.stream_label, cell.cell.detector_label,
+                  std::to_string(iters), ccd::Table::Num(ns_per_op, 1),
+                  ccd::Table::Num(mitems)});
+  }
+  std::printf("Detector Observe() cost per workload\n\n%s\n",
+              table.ToText().c_str());
+  std::string csv = cli.GetString("csv", "");
+  if (!csv.empty() && table.WriteCsv(csv)) std::printf("wrote %s\n", csv.c_str());
   return 0;
+} catch (const ccd::api::ApiError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

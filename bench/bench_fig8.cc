@@ -5,10 +5,14 @@
 // protocol), so the leftmost points are the hardest.
 //
 // Usage:
-//   bench_fig8 [--scale 0.005] [--seed 42] [--streams RBF5,...]
-//              [--detectors ...] [--csv fig8.csv]
+//   bench_fig8 [--scale 0.005] [--seed 42] [--threads N] [--streams RBF5,...]
+//              [--detectors ...] [--csv fig8.csv] [--json fig8.json]
+//
+// The (stream, drifted-class-count, detector) grid runs on api::Suite;
+// --threads shards it across workers (0 = all cores).
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +51,15 @@ int main(int argc, char** argv) try {
   for (const auto& d : detectors) header.push_back(d);
   table.SetHeader(header);
 
+  // Stream axis: one entry per (stream, drifted-class-count) point, each
+  // carrying its own BuildOptions. Rows are rebuilt from the entry list.
+  struct Point {
+    std::string stream;
+    int classes;
+  };
+  std::vector<Point> points;
+  ccd::api::Suite suite;
+  suite.Detectors(detectors).Threads(cli.GetInt("threads", 0));
   for (const ccd::StreamSpec& spec : ccd::ArtificialStreamSpecs()) {
     if (!stream_filter.empty()) {
       bool keep = false;
@@ -58,19 +71,26 @@ int main(int argc, char** argv) try {
       options.scale = scale;
       options.seed = seed;
       options.local_drift_classes = c;
-
-      std::vector<std::string> row = {spec.name, std::to_string(c)};
-      for (const auto& d : detectors) {
-        ccd::PrequentialResult r = ccd::api::Experiment()
-                                       .Stream(spec)
-                                       .Options(options)
-                                       .Detector(d)
-                                       .Run();
-        row.push_back(ccd::Table::Num(100.0 * r.mean_pmauc));
-      }
-      table.AddRow(row);
+      suite.Stream(spec, options, spec.name + "#" + std::to_string(c));
+      points.push_back({spec.name, c});
     }
-    std::fprintf(stderr, "done %s\n", spec.name.c_str());
+  }
+  std::vector<std::string> entry_streams;
+  for (const Point& p : points) entry_streams.push_back(p.stream);
+  ccd::bench::InstallStreamProgress(suite, entry_streams, detectors.size());
+  std::string json = cli.GetString("json", "");
+  if (!json.empty()) suite.Sink(std::make_unique<ccd::api::JsonSink>(json));
+
+  ccd::api::SuiteResult res = suite.Run();
+  for (size_t p = 0; p < points.size(); ++p) {
+    std::vector<std::string> row = {points[p].stream,
+                                    std::to_string(points[p].classes)};
+    for (size_t d = 0; d < detectors.size(); ++d) {
+      const ccd::api::SuiteAggregate& agg =
+          res.aggregates[p * detectors.size() + d];
+      row.push_back(ccd::Table::Num(100.0 * agg.pmauc.mean()));
+    }
+    table.AddRow(row);
   }
 
   std::printf(

@@ -3,10 +3,14 @@
 // on the 12 artificial benchmarks — the robustness-to-extreme-skew test.
 //
 // Usage:
-//   bench_fig9 [--scale 0.005] [--seed 42] [--streams RBF5,...]
-//              [--detectors ...] [--csv fig9.csv]
+//   bench_fig9 [--scale 0.005] [--seed 42] [--threads N] [--streams RBF5,...]
+//              [--detectors ...] [--csv fig9.csv] [--json fig9.json]
+//
+// The (stream, IR, detector) grid runs on api::Suite; --threads shards it
+// across workers (0 = all cores).
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +41,14 @@ int main(int argc, char** argv) try {
   for (const auto& d : detectors) header.push_back(d);
   table.SetHeader(header);
 
+  // Stream axis: one entry per (stream, IR) point with its own options.
+  struct Point {
+    std::string stream;
+    double ir;
+  };
+  std::vector<Point> points;
+  ccd::api::Suite suite;
+  suite.Detectors(detectors).Threads(cli.GetInt("threads", 0));
   for (const ccd::StreamSpec& spec : ccd::ArtificialStreamSpecs()) {
     if (!stream_filter.empty()) {
       bool keep = false;
@@ -48,19 +60,27 @@ int main(int argc, char** argv) try {
       options.scale = scale;
       options.seed = seed;
       options.ir_override = ir;
-
-      std::vector<std::string> row = {spec.name, ccd::Table::Num(ir, 0)};
-      for (const auto& d : detectors) {
-        ccd::PrequentialResult r = ccd::api::Experiment()
-                                       .Stream(spec)
-                                       .Options(options)
-                                       .Detector(d)
-                                       .Run();
-        row.push_back(ccd::Table::Num(100.0 * r.mean_pmauc));
-      }
-      table.AddRow(row);
+      suite.Stream(spec, options,
+                   spec.name + "@IR" + ccd::Table::Num(ir, 0));
+      points.push_back({spec.name, ir});
     }
-    std::fprintf(stderr, "done %s\n", spec.name.c_str());
+  }
+  std::vector<std::string> entry_streams;
+  for (const Point& p : points) entry_streams.push_back(p.stream);
+  ccd::bench::InstallStreamProgress(suite, entry_streams, detectors.size());
+  std::string json = cli.GetString("json", "");
+  if (!json.empty()) suite.Sink(std::make_unique<ccd::api::JsonSink>(json));
+
+  ccd::api::SuiteResult res = suite.Run();
+  for (size_t p = 0; p < points.size(); ++p) {
+    std::vector<std::string> row = {points[p].stream,
+                                    ccd::Table::Num(points[p].ir, 0)};
+    for (size_t d = 0; d < detectors.size(); ++d) {
+      const ccd::api::SuiteAggregate& agg =
+          res.aggregates[p * detectors.size() + d];
+      row.push_back(ccd::Table::Num(100.0 * agg.pmauc.mean()));
+    }
+    table.AddRow(row);
   }
 
   std::printf(

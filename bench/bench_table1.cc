@@ -5,39 +5,59 @@
 // classes, measured max/min class ratio, drift type) so the synthetic
 // substitutes can be audited against the paper's numbers.
 //
-// Usage: bench_table1 [--scale 0.02] [--seed 42] [--csv out.csv]
+// The audit runs on api::Suite with a custom cell runner — no classifier
+// or detector is involved, but the grid sharding (--threads, 0 = all
+// cores) and deterministic per-cell seeding are shared with the
+// experiment benches.
+//
+// Usage: bench_table1 [--scale 0.02] [--seed 42] [--threads N]
+//                     [--csv out.csv]
 
 #include <cstdio>
 #include <vector>
 
+#include "api/api.h"
 #include "generators/registry.h"
 #include "utils/cli.h"
 #include "utils/table.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   ccd::Cli cli(argc, argv);
   double scale = cli.GetDouble("scale", 0.02);
   uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
 
+  ccd::BuildOptions options;
+  options.scale = scale;
+  options.seed = seed;
+
+  ccd::api::Suite suite;
+  suite.Options(options).NoDetector().Threads(cli.GetInt("threads", 0));
+  for (const ccd::StreamSpec& spec : ccd::AllStreamSpecs()) suite.Stream(spec);
+  // Audit cells: draw the realized stream and count class frequencies —
+  // no classifier, no detector, just the generator.
+  suite.Runner([](const ccd::api::SuiteCell& cell) {
+    ccd::BuiltStream built = ccd::BuildStream(cell.spec, cell.options);
+    ccd::PrequentialResult r;
+    r.instances = built.length;
+    r.class_counts.assign(static_cast<size_t>(cell.spec.num_classes), 0);
+    for (uint64_t i = 0; i < built.length; ++i) {
+      ccd::Instance inst = built.stream->Next();
+      if (inst.label >= 0 && inst.label < cell.spec.num_classes) {
+        ++r.class_counts[static_cast<size_t>(inst.label)];
+      }
+    }
+    return r;
+  });
+
+  ccd::api::SuiteResult res = suite.Run();
+
   ccd::Table table;
   table.SetHeader({"Dataset", "Instances", "Features", "Classes", "IR(spec)",
                    "IR(measured)", "Drift", "Events"});
-
-  for (const ccd::StreamSpec& spec : ccd::AllStreamSpecs()) {
-    ccd::BuildOptions options;
-    options.scale = scale;
-    options.seed = seed;
-    ccd::BuiltStream built = ccd::BuildStream(spec, options);
-
-    std::vector<uint64_t> counts(static_cast<size_t>(spec.num_classes), 0);
-    for (uint64_t i = 0; i < built.length; ++i) {
-      ccd::Instance inst = built.stream->Next();
-      if (inst.label >= 0 && inst.label < spec.num_classes) {
-        ++counts[static_cast<size_t>(inst.label)];
-      }
-    }
+  for (const ccd::api::SuiteCellResult& cell : res.cells) {
+    const ccd::StreamSpec& spec = cell.cell.spec;
     uint64_t max_c = 0, min_c = UINT64_MAX;
-    for (uint64_t c : counts) {
+    for (uint64_t c : cell.result.class_counts) {
       max_c = c > max_c ? c : max_c;
       min_c = c < min_c ? c : min_c;
     }
@@ -45,7 +65,7 @@ int main(int argc, char** argv) {
         min_c > 0 ? static_cast<double>(max_c) / static_cast<double>(min_c)
                   : static_cast<double>(max_c);
 
-    table.AddRow({spec.name, std::to_string(built.length),
+    table.AddRow({spec.name, std::to_string(cell.result.instances),
                   std::to_string(spec.num_features),
                   std::to_string(spec.num_classes),
                   ccd::Table::Num(spec.imbalance_ratio),
@@ -64,4 +84,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", csv.c_str());
   }
   return 0;
+} catch (const ccd::api::ApiError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -8,15 +8,21 @@
 //   * Table II     — the detector parameter grids (--grids).
 //
 // Usage:
-//   bench_table3 [--scale 0.01] [--seed 42] [--streams RBF5,RBF10]
+//   bench_table3 [--scale 0.01] [--seed 42] [--threads N] [--repeats R]
+//                [--streams RBF5,RBF10]
 //                [--detectors WSTD,RDDM,FHDDM,PerfSim,DDM-OCI,RBM-IM]
-//                [--csv table3.csv] [--grids]
+//                [--csv table3.csv] [--json table3.json] [--grids]
 //
 // --scale is the stream-length multiplier versus the paper (default 0.01
 // keeps the full 24x6 matrix under a few minutes on a laptop; see
-// EXPERIMENTS.md for shape stability across scales).
+// EXPERIMENTS.md for shape stability across scales). The grid runs on
+// api::Suite: --threads shards the (stream x detector) cells across
+// workers (0 = all cores) and --repeats averages R seeded repetitions per
+// cell — both without changing any reported number at the defaults.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -77,33 +83,47 @@ int main(int argc, char** argv) try {
   for (const auto& d : detectors) header.push_back(d + ":pmGM");
   table.SetHeader(header);
 
+  ccd::BuildOptions options;
+  options.scale = scale;
+  options.seed = seed;
+
+  const int repeats = std::max(1, cli.GetInt("repeats", 1));
+  ccd::api::Suite suite;
+  suite.Options(options)
+      .Detectors(detectors)
+      .Repeats(repeats)
+      .Threads(cli.GetInt("threads", 0));
+  std::vector<std::string> stream_names;
+  for (const ccd::StreamSpec& spec : streams) {
+    suite.Stream(spec);
+    stream_names.push_back(spec.name);
+  }
+  ccd::bench::InstallStreamProgress(
+      suite, stream_names, detectors.size() * static_cast<size_t>(repeats));
+  std::string json = cli.GetString("json", "");
+  if (!json.empty()) suite.Sink(std::make_unique<ccd::api::JsonSink>(json));
+
+  ccd::api::SuiteResult res = suite.Run();
+
   // scores[metric][stream][detector] for the rank / Bayesian analyses.
+  // Aggregates arrive in grid order: stream-major, detectors inner.
   std::vector<std::vector<double>> auc_rows, gm_rows;
   std::vector<double> test_seconds(detectors.size(), 0.0);
-
-  for (const ccd::StreamSpec& spec : streams) {
-    ccd::BuildOptions options;
-    options.scale = scale;
-    options.seed = seed;
-
-    std::vector<std::string> row = {spec.name};
+  for (size_t s = 0; s < streams.size(); ++s) {
+    std::vector<std::string> row = {streams[s].name};
     std::vector<double> aucs, gms;
     for (size_t d = 0; d < detectors.size(); ++d) {
-      ccd::PrequentialResult r = ccd::api::Experiment()
-                                     .Stream(spec)
-                                     .Options(options)
-                                     .Detector(detectors[d])
-                                     .Run();
-      aucs.push_back(100.0 * r.mean_pmauc);
-      gms.push_back(100.0 * r.mean_pmgm);
-      test_seconds[d] += r.detector_seconds;
+      const ccd::api::SuiteAggregate& agg =
+          res.aggregates[s * detectors.size() + d];
+      aucs.push_back(100.0 * agg.pmauc.mean());
+      gms.push_back(100.0 * agg.pmgm.mean());
+      test_seconds[d] += agg.detector_seconds.mean();
     }
     for (double v : aucs) row.push_back(ccd::Table::Num(v));
     for (double v : gms) row.push_back(ccd::Table::Num(v));
     table.AddRow(row);
     auc_rows.push_back(aucs);
     gm_rows.push_back(gms);
-    std::fprintf(stderr, "done %s\n", spec.name.c_str());
   }
 
   // Rank rows (paper's "ranks" line).

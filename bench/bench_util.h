@@ -7,6 +7,9 @@
 // (a full-scale sweep is hours; failing on its last cell is not an
 // acceptable way to report a typo).
 
+#include <cstdio>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -50,6 +53,28 @@ inline void RequireStreams(const std::vector<std::string>& names,
       throw api::ApiError(msg);
     }
   }
+}
+
+/// Installs the benches' shared progress reporter on a suite: one
+/// "done <stream>" stderr line once every cell belonging to that stream
+/// has finished. `stream_of_entry` maps each stream-axis entry index to
+/// its parent stream name (several entries may share one stream, e.g. a
+/// per-stream option sweep); `cells_per_entry` is how many cells each
+/// entry expands to (detector-axis size × repeats).
+inline void InstallStreamProgress(api::Suite& suite,
+                                  std::vector<std::string> stream_of_entry,
+                                  size_t cells_per_entry) {
+  auto names = std::make_shared<std::vector<std::string>>(
+      std::move(stream_of_entry));
+  auto remaining = std::make_shared<std::map<std::string, size_t>>();
+  for (const std::string& s : *names) (*remaining)[s] += cells_per_entry;
+  suite.OnCellDone([names, remaining](const api::SuiteCell& cell,
+                                      const PrequentialResult&) {
+    const std::string& s = (*names)[cell.stream_index];
+    if (--(*remaining)[s] == 0) {
+      std::fprintf(stderr, "done %s\n", s.c_str());
+    }
+  });
 }
 
 }  // namespace bench

@@ -7,7 +7,10 @@
 ///  * Registry       — string-keyed, introspectable component factories
 ///                     (api::Detectors(), api::Classifiers(),
 ///                      api::MakeDetector(), api::MakeClassifier()),
-///  * Experiment     — fluent builder of prequential experiment runs.
+///  * Experiment     — fluent builder of prequential experiment runs,
+///  * Suite          — deterministic parallel runner for experiment grids
+///                     (streams × detectors × classifiers × repeats) with
+///                     Welford aggregation and CSV/JSON/table sinks.
 ///
 /// Components self-register via CCD_REGISTER_DETECTOR /
 /// CCD_REGISTER_CLASSIFIER; every lookup failure throws api::ApiError with
@@ -16,5 +19,6 @@
 #include "api/component_registry.h"
 #include "api/experiment.h"
 #include "api/param_map.h"
+#include "api/suite.h"
 
 #endif  // CCD_API_API_H_

@@ -78,6 +78,14 @@ Experiment::Built Experiment::Build() const {
   if (has_config_) {
     out.config = config_;
     if (out.config.max_instances == 0) out.config.max_instances = out.stream.length;
+    // Reject degenerate protocols here, where the caller composed them —
+    // RunPrequential would throw std::invalid_argument later, but an
+    // ApiError at Build() points at the Experiment that carried them.
+    try {
+      ValidatePrequentialConfig(out.config);
+    } catch (const std::invalid_argument& e) {
+      throw ApiError(e.what());
+    }
   } else {
     // The paper's protocol: windowed metrics over W=1000 sampled every 250
     // instances after a 500-instance warmup, over the realized length.

@@ -75,6 +75,9 @@ void RbmIm::Observe(const Instance& instance, int /*predicted*/,
     state_ = DetectorState::kStable;
     drifted_.clear();
   }
+  // The normalizer is sized for params_.num_features and validates the
+  // width: an instance that does not match the declared schema throws
+  // std::invalid_argument here instead of corrupting the bounds arrays.
   Instance normalized(normalizer_.ObserveTransform(instance.features),
                       instance.label, instance.weight);
   pending_.push_back(std::move(normalized));

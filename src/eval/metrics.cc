@@ -58,10 +58,18 @@ double WindowedMetrics::PmAuc() const {
       if (by_class[static_cast<size_t>(j)].empty()) continue;
       // One-vs-one AUC between classes i (positive) and j (negative),
       // scoring each instance by its normalized support for class i.
+      // Stored score vectors may be shorter than num_classes (a classifier
+      // that scores only the classes it has seen, or none at all); a class
+      // with no stored score has zero support.
       std::vector<double> pos, neg;
+      auto support = [](const Entry* e, int c) {
+        return static_cast<size_t>(c) < e->scores.size()
+                   ? e->scores[static_cast<size_t>(c)]
+                   : 0.0;
+      };
       auto score_ratio = [&](const Entry* e) {
-        double si = e->scores[static_cast<size_t>(i)];
-        double sj = e->scores[static_cast<size_t>(j)];
+        double si = support(e, i);
+        double sj = support(e, j);
         double denom = si + sj;
         return denom > 0.0 ? si / denom : 0.5;
       };

@@ -1,6 +1,8 @@
 #include "eval/prequential.h"
 
 #include <chrono>
+#include <stdexcept>
+#include <string>
 
 #include "eval/metrics.h"
 
@@ -15,13 +17,29 @@ double Seconds(Clock::time_point a, Clock::time_point b) {
 
 }  // namespace
 
+void ValidatePrequentialConfig(const PrequentialConfig& config) {
+  if (config.eval_interval <= 0) {
+    throw std::invalid_argument(
+        "PrequentialConfig.eval_interval must be >= 1 (got " +
+        std::to_string(config.eval_interval) + ")");
+  }
+  if (config.metric_window <= 0) {
+    throw std::invalid_argument(
+        "PrequentialConfig.metric_window must be >= 1 (got " +
+        std::to_string(config.metric_window) + ")");
+  }
+}
+
 PrequentialResult RunPrequential(InstanceStream* stream,
                                  OnlineClassifier* classifier,
                                  DriftDetector* detector,
                                  const PrequentialConfig& config) {
+  ValidatePrequentialConfig(config);
   PrequentialResult result;
   const StreamSchema& schema = stream->schema();
   WindowedMetrics metrics(schema.num_classes, config.metric_window);
+  result.class_counts.assign(
+      schema.num_classes > 0 ? static_cast<size_t>(schema.num_classes) : 0, 0);
 
   double sum_pmauc = 0.0, sum_pmgm = 0.0, sum_acc = 0.0, sum_kappa = 0.0;
   uint64_t samples = 0;
@@ -29,6 +47,10 @@ PrequentialResult RunPrequential(InstanceStream* stream,
   for (uint64_t i = 0; i < config.max_instances; ++i) {
     Instance instance = stream->Next();
     ++result.instances;
+    if (instance.label >= 0 &&
+        static_cast<size_t>(instance.label) < result.class_counts.size()) {
+      ++result.class_counts[static_cast<size_t>(instance.label)];
+    }
 
     if (i < config.warmup) {
       classifier->Train(instance);
@@ -36,11 +58,18 @@ PrequentialResult RunPrequential(InstanceStream* stream,
       // RBM-IM on the first batches before monitoring).
       if (detector != nullptr) {
         detector->Observe(instance, instance.label, {});
+        // Consume (and discard) any drift signaled on warmup data. A
+        // detector whose drift flag latches until read would otherwise
+        // carry a warmup alarm into the first measured instance and force
+        // a spurious classifier reset there.
+        (void)detector->state();
       }
       continue;
     }
 
     std::vector<double> scores = classifier->PredictScores(instance);
+    // Argmax over the scores; an empty or short vector is legal (missing
+    // support counts as zero), so an all-missing prediction is class 0.
     int predicted = 0;
     for (size_t c = 1; c < scores.size(); ++c) {
       if (scores[c] > scores[predicted]) predicted = static_cast<int>(c);

@@ -20,6 +20,14 @@ struct PrequentialConfig {
   bool timing = true;         ///< Measure detector/classifier wall time.
 };
 
+/// Throws std::invalid_argument when `config` is degenerate: a
+/// non-positive `eval_interval` (the sampling modulus — zero is a literal
+/// division by zero) or a non-positive `metric_window` (WindowedMetrics
+/// would evict every entry immediately and never accumulate a window).
+/// RunPrequential calls this up front; api::Experiment::Build performs the
+/// same checks and reports them as ApiError.
+void ValidatePrequentialConfig(const PrequentialConfig& config);
+
 /// Aggregate outcome of a run.
 struct PrequentialResult {
   double mean_pmauc = 0.0;   ///< Mean of windowed pmAUC samples, in [0,1].
@@ -29,6 +37,9 @@ struct PrequentialResult {
   uint64_t instances = 0;
   uint64_t drifts = 0;
   std::vector<uint64_t> drift_positions;
+  /// Realized per-class instance counts over the whole run (warmup
+  /// included); labels outside [0, num_classes) are not counted.
+  std::vector<uint64_t> class_counts;
   /// (position, pmAUC) samples for plotting metric evolution.
   std::vector<std::pair<uint64_t, double>> pmauc_series;
   /// Total seconds spent inside DriftDetector::Observe (the paper's

@@ -1,0 +1,72 @@
+#ifndef CCD_RUNTIME_THREAD_POOL_H_
+#define CCD_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccd {
+namespace runtime {
+
+/// Fixed-size thread pool over a FIFO work queue — the execution layer of
+/// the experiment-suite runner (api::Suite) and of any future intra-stream
+/// sharding. Tasks are opaque thunks; determinism is the *caller's*
+/// contract: a task must write only to state it owns (e.g. its own slot of
+/// a pre-sized result vector), so results are identical whatever order the
+/// workers pick tasks in.
+///
+/// Tasks must not throw — wrap the body and capture the exception into a
+/// per-task slot (api::Suite stores an std::exception_ptr per cell and
+/// rethrows the first one, in task order, after Wait()).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int threads);
+
+  /// Drains nothing: pending tasks are abandoned only if the pool dies
+  /// before Wait(); call Wait() first for orderly shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing (queue empty
+  /// and no task in flight).
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Default worker count: hardware_concurrency, with a floor of 1 for
+  /// platforms that report 0.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< Tasks popped but not yet finished.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0..n-1) across `threads` workers and blocks until all calls
+/// return. Convenience wrapper for embarrassingly parallel index loops;
+/// exceptions escaping `fn` propagate to the caller (the first one in
+/// index order; the remaining indices still run).
+void ParallelFor(int threads, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace runtime
+}  // namespace ccd
+
+#endif  // CCD_RUNTIME_THREAD_POOL_H_

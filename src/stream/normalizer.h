@@ -1,6 +1,8 @@
 #ifndef CCD_STREAM_NORMALIZER_H_
 #define CCD_STREAM_NORMALIZER_H_
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "stream/instance.h"
@@ -18,8 +20,11 @@ class MinMaxNormalizer {
   explicit MinMaxNormalizer(int num_features)
       : lo_(num_features, 0.0), hi_(num_features, 0.0), seen_(false) {}
 
-  /// Updates the bounds from a raw instance.
+  /// Updates the bounds from a raw instance. Throws std::invalid_argument
+  /// when `x` does not have the declared number of features — indexing
+  /// lo_/hi_ by a wider vector would read and write out of bounds.
   void Observe(const std::vector<double>& x) {
+    CheckWidth(x);
     if (!seen_) {
       lo_ = x;
       hi_ = x;
@@ -33,8 +38,10 @@ class MinMaxNormalizer {
   }
 
   /// Maps `x` into [0,1]^d with the current bounds. Constant features map
-  /// to 0.5. Does not update the bounds.
+  /// to 0.5. Does not update the bounds. Throws std::invalid_argument on a
+  /// width mismatch, like Observe().
   std::vector<double> Transform(const std::vector<double>& x) const {
+    CheckWidth(x);
     std::vector<double> out(x.size());
     for (size_t i = 0; i < x.size(); ++i) {
       double span = hi_[i] - lo_[i];
@@ -57,6 +64,14 @@ class MinMaxNormalizer {
   bool seen() const { return seen_; }
 
  private:
+  void CheckWidth(const std::vector<double>& x) const {
+    if (x.size() != lo_.size()) {
+      throw std::invalid_argument(
+          "MinMaxNormalizer: instance has " + std::to_string(x.size()) +
+          " features, normalizer was sized for " + std::to_string(lo_.size()));
+    }
+  }
+
   std::vector<double> lo_;
   std::vector<double> hi_;
   bool seen_;

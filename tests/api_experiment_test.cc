@@ -108,6 +108,22 @@ TEST(ApiExperimentTest, MissingStreamIsAnError) {
   EXPECT_THROW(api::Experiment().Run(), api::ApiError);
 }
 
+TEST(ApiExperimentTest, DegenerateProtocolRejectedAtBuild) {
+  // Companion to RunPrequential's own validation: the builder reports a
+  // degenerate protocol as an ApiError at Build(), where it was composed.
+  PrequentialConfig bad;
+  bad.eval_interval = 0;
+  api::Experiment e;
+  e.Stream("RBF5").Scale(0.001).Prequential(bad);
+  EXPECT_THROW(e.Build(), api::ApiError);
+
+  bad = PrequentialConfig{};
+  bad.metric_window = -1;
+  api::Experiment e2;
+  e2.Stream("RBF5").Scale(0.001).Prequential(bad);
+  EXPECT_THROW(e2.Run(), api::ApiError);
+}
+
 TEST(ApiExperimentTest, MatchesDirectPipelineComposition) {
   // The builder is sugar, not a different pipeline: the same (spec,
   // options, components) must reproduce the same result numbers.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "classifiers/naive_bayes.h"
 #include "detectors/ddm.h"
@@ -130,6 +131,29 @@ TEST(WindowedMetricsTest, WindowEviction) {
   EXPECT_NEAR(m.Accuracy(), 1.0, 1e-12);
 }
 
+TEST(WindowedMetricsTest, ShortOrEmptyScoreVectorsAreMissingSupport) {
+  // Regression: PmAuc used to index scores[class] unguarded, so a
+  // classifier returning fewer than num_classes scores (or none at all)
+  // read out of bounds. Missing support must count as zero.
+  WindowedMetrics m(3, 100);
+  for (int i = 0; i < 10; ++i) {
+    m.Add(0, 0, {0.9});              // Support for class 0 only.
+    m.Add(1, 1, {});                 // No scores at all.
+    m.Add(2, 2, {0.1, 0.2, 0.7});    // Full-width scores.
+  }
+  double v = m.PmAuc();
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+  // Pair (0,1): class-0 entries score 0.9 vs 0 -> ratio 1; class-1
+  // entries have no support on either side -> ratio 0.5. Perfect order.
+  WindowedMetrics pair01(2, 100);
+  for (int i = 0; i < 5; ++i) {
+    pair01.Add(0, 0, {0.9});
+    pair01.Add(1, 1, {});
+  }
+  EXPECT_NEAR(pair01.PmAuc(), 1.0, 1e-12);
+}
+
 TEST(WindowedMetricsTest, PmAucSkipsAbsentClassPairs) {
   WindowedMetrics m(5, 100);
   // Only classes 0 and 1 appear: the metric is the single pairwise AUC.
@@ -158,6 +182,77 @@ std::unique_ptr<DriftingClassStream> MakeDriftStream(uint64_t drift_at,
   return std::make_unique<DriftingClassStream>(
       std::move(cs), std::vector<DriftEvent>{ev}, ImbalanceSchedule(io), seed);
 }
+
+/// Minimal classifier stub: uniform scores, counts Reset() calls so tests
+/// can observe whether a drift signal reached the coupling.
+class CountingStubClassifier : public OnlineClassifier {
+ public:
+  explicit CountingStubClassifier(const StreamSchema& schema)
+      : schema_(schema) {}
+  const StreamSchema& schema() const override { return schema_; }
+  void Train(const Instance&) override {}
+  std::vector<double> PredictScores(const Instance&) const override {
+    return std::vector<double>(static_cast<size_t>(schema_.num_classes),
+                               1.0 / schema_.num_classes);
+  }
+  void Reset() override { ++resets; }
+  std::unique_ptr<OnlineClassifier> Clone() const override {
+    return std::make_unique<CountingStubClassifier>(schema_);
+  }
+  std::string name() const override { return "counting-stub"; }
+
+  int resets = 0;
+
+ private:
+  StreamSchema schema_;
+};
+
+/// Classifier that returns no scores at all — the degenerate case the
+/// argmax and metrics paths must survive (missing support == 0).
+class ScorelessClassifier : public OnlineClassifier {
+ public:
+  explicit ScorelessClassifier(const StreamSchema& schema)
+      : schema_(schema) {}
+  const StreamSchema& schema() const override { return schema_; }
+  void Train(const Instance&) override {}
+  std::vector<double> PredictScores(const Instance&) const override {
+    return {};
+  }
+  void Reset() override {}
+  std::unique_ptr<OnlineClassifier> Clone() const override {
+    return std::make_unique<ScorelessClassifier>(schema_);
+  }
+  std::string name() const override { return "scoreless"; }
+
+ private:
+  StreamSchema schema_;
+};
+
+/// Scripted detector that fires at a fixed Observe() count and *latches*:
+/// the drift flag stays raised until the harness reads state(). Models
+/// consumer-cleared detectors, which the warmup branch used to starve —
+/// the warmup alarm then leaked into the first measured instance.
+class LatchingScriptedDetector : public DriftDetector {
+ public:
+  explicit LatchingScriptedDetector(uint64_t fire_at) : fire_at_(fire_at) {}
+  void Observe(const Instance&, int, const std::vector<double>&) override {
+    if (++observed_ == fire_at_) latched_ = true;
+  }
+  DetectorState state() const override {
+    if (latched_) {
+      latched_ = false;  // Consume-on-read.
+      return DetectorState::kDrift;
+    }
+    return DetectorState::kStable;
+  }
+  void Reset() override { latched_ = false; }
+  std::string name() const override { return "latching-scripted"; }
+
+ private:
+  uint64_t fire_at_;
+  uint64_t observed_ = 0;
+  mutable bool latched_ = false;
+};
 
 TEST(PrequentialTest, ProducesSaneMetricsWithoutDetector) {
   auto stream = MakeDriftStream(1 << 30, 7);  // Effectively no drift.
@@ -223,6 +318,84 @@ TEST(PrequentialTest, TimingAccumulates) {
   PrequentialResult r = RunPrequential(stream.get(), &clf, &ddm, cfg);
   EXPECT_GT(r.classifier_seconds, 0.0);
   EXPECT_GT(r.detector_seconds, 0.0);
+}
+
+TEST(PrequentialTest, RejectsDegenerateConfig) {
+  // Regression: eval_interval <= 0 was a literal division by zero and
+  // metric_window <= 0 degenerated the metric window — both now fail fast.
+  auto stream = MakeDriftStream(1 << 30, 5);
+  GaussianNaiveBayes clf(stream->schema());
+  PrequentialConfig bad;
+  bad.eval_interval = 0;
+  EXPECT_THROW(RunPrequential(stream.get(), &clf, nullptr, bad),
+               std::invalid_argument);
+  bad = PrequentialConfig{};
+  bad.metric_window = -5;
+  EXPECT_THROW(RunPrequential(stream.get(), &clf, nullptr, bad),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ValidatePrequentialConfig(PrequentialConfig{}));
+}
+
+TEST(PrequentialTest, SurvivesEmptyScoreVectors) {
+  // Regression companion to the PmAuc guard: a classifier returning no
+  // scores must flow through argmax, windowed metrics and sampling
+  // without reading out of bounds. All ratios tie -> pmAUC 0.5.
+  auto stream = MakeDriftStream(1 << 30, 17);
+  ScorelessClassifier clf(stream->schema());
+  PrequentialConfig cfg;
+  cfg.max_instances = 2000;
+  cfg.warmup = 100;
+  cfg.eval_interval = 100;
+  cfg.metric_window = 500;
+  PrequentialResult r = RunPrequential(stream.get(), &clf, nullptr, cfg);
+  EXPECT_EQ(r.instances, 2000u);
+  EXPECT_NEAR(r.mean_pmauc, 0.5, 1e-9);
+}
+
+TEST(PrequentialTest, WarmupDriftIsConsumedNotReplayed) {
+  // Regression: a drift signaled during the warmup prefix must be
+  // consumed there — not carried into the first measured instance, where
+  // it would count as a detection and spuriously reset the classifier.
+  auto stream = MakeDriftStream(1 << 30, 21);
+  CountingStubClassifier clf(stream->schema());
+  LatchingScriptedDetector det(/*fire_at=*/300);  // Inside warmup (500).
+  PrequentialConfig cfg;
+  cfg.max_instances = 2000;
+  cfg.warmup = 500;
+  PrequentialResult r = RunPrequential(stream.get(), &clf, &det, cfg);
+  EXPECT_EQ(r.drifts, 0u);
+  EXPECT_TRUE(r.drift_positions.empty());
+  EXPECT_EQ(clf.resets, 0);
+}
+
+TEST(PrequentialTest, PostWarmupScriptedDriftStillCounts) {
+  // The same latching detector firing after warmup must be seen exactly
+  // once and drive exactly one reset — the consumption fix must not eat
+  // genuine signals.
+  auto stream = MakeDriftStream(1 << 30, 21);
+  CountingStubClassifier clf(stream->schema());
+  LatchingScriptedDetector det(/*fire_at=*/600);
+  PrequentialConfig cfg;
+  cfg.max_instances = 2000;
+  cfg.warmup = 500;
+  PrequentialResult r = RunPrequential(stream.get(), &clf, &det, cfg);
+  EXPECT_EQ(r.drifts, 1u);
+  ASSERT_EQ(r.drift_positions.size(), 1u);
+  EXPECT_EQ(r.drift_positions[0], 599u);  // The 600th Observe() call.
+  EXPECT_EQ(clf.resets, 1);
+}
+
+TEST(PrequentialTest, CountsRealizedClassDistribution) {
+  auto stream = MakeDriftStream(1 << 30, 23);
+  GaussianNaiveBayes clf(stream->schema());
+  PrequentialConfig cfg;
+  cfg.max_instances = 3000;
+  cfg.warmup = 200;
+  PrequentialResult r = RunPrequential(stream.get(), &clf, nullptr, cfg);
+  ASSERT_EQ(r.class_counts.size(), 3u);
+  uint64_t total = 0;
+  for (uint64_t c : r.class_counts) total += c;
+  EXPECT_EQ(total, 3000u);  // Every instance (warmup included) is counted.
 }
 
 TEST(SelfTuningTest, FindsBetterFhddmDelta) {

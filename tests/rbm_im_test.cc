@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "core/rbm_im.h"
 #include "generators/drifting_stream.h"
@@ -256,6 +257,17 @@ TEST(RbmImTest, WorksOnRegistryStream) {
   }
   EXPECT_GE(in_window, 1);
   EXPECT_LE(total - in_window, 3);
+}
+
+TEST(RbmImTest, RejectsInstanceWiderThanDeclaredSchema) {
+  // Regression: RBM-IM feeds raw stream features to its MinMaxNormalizer,
+  // which is sized for Params::num_features — a wider instance used to
+  // read and write past the bounds arrays; it now throws.
+  RbmIm det(DetectorParams(4, 3), /*seed=*/1);
+  Instance ok(std::vector<double>(4, 0.5), 0);
+  det.Observe(ok, 0, {});
+  Instance bad(std::vector<double>(7, 0.5), 0);
+  EXPECT_THROW(det.Observe(bad, 0, {}), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+// The runtime layer: fixed-size thread pool + work queue semantics that
+// api::Suite's determinism contract rests on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace ccd {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitCanBeReusedAcrossBatches) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), 50 * (batch + 1));
+  }
+}
+
+TEST(ThreadPoolTest, ClampsWorkerCountToAtLeastOne) {
+  runtime::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(runtime::ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  // Each index writes only its own slot — the determinism contract cells
+  // rely on — so no synchronization is needed to check coverage.
+  std::vector<int> hits(500, 0);
+  runtime::ParallelFor(8, hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoop) {
+  runtime::ParallelFor(4, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, PropagatesExceptionsAfterAllIndicesRan) {
+  std::atomic<int> ran{0};
+  try {
+    runtime::ParallelFor(4, 20, [&ran](size_t i) {
+      ++ran;
+      if (i == 3) throw std::runtime_error("cell 3 failed");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 3 failed");
+  }
+  // The failing index must not cancel its siblings.
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace ccd

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "stream/instance.h"
 #include "stream/normalizer.h"
 #include "stream/stream.h"
@@ -100,6 +102,23 @@ TEST(NormalizerTest, UnseenReturnsHalf) {
   auto t = n.Transform({1.0, 2.0});
   EXPECT_DOUBLE_EQ(t[0], 0.5);
   EXPECT_DOUBLE_EQ(t[1], 0.5);
+}
+
+TEST(NormalizerTest, RejectsWidthMismatch) {
+  // Regression: Observe/Transform used to iterate over x.size() while
+  // lo_/hi_ were sized by the constructor — an instance wider than
+  // declared read and wrote out of bounds.
+  MinMaxNormalizer n(2);
+  EXPECT_THROW(n.Observe({1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(n.Transform({1.0}), std::invalid_argument);
+  EXPECT_THROW(n.ObserveTransform({1.0, 2.0, 3.0}), std::invalid_argument);
+  // The failed calls must not have corrupted state; matching widths work.
+  EXPECT_FALSE(n.seen());
+  n.Observe({0.0, 1.0});
+  n.Observe({1.0, 0.0});
+  auto t = n.Transform({0.5, 0.5});
+  EXPECT_NEAR(t[0], 0.5, 1e-12);
+  EXPECT_NEAR(t[1], 0.5, 1e-12);
 }
 
 }  // namespace
