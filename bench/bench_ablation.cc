@@ -104,4 +104,7 @@ int main(int argc, char** argv) try {
 } catch (const ccd::api::ApiError& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;
+} catch (const ccd::CliError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

@@ -10,7 +10,11 @@
 ///  * Experiment     — fluent builder of prequential experiment runs,
 ///  * Suite          — deterministic parallel runner for experiment grids
 ///                     (streams × detectors × classifiers × repeats) with
-///                     Welford aggregation and CSV/JSON/table sinks.
+///                     Welford aggregation and CSV/JSON/table sinks,
+///  * Monitor        — push-based online monitoring surface (decoupled
+///                     Predict/Label with delayed-label buffering, drift
+///                     event callbacks, snapshotable run state), built on
+///                     the same engine the offline protocol runs on.
 ///
 /// Components self-register via CCD_REGISTER_DETECTOR /
 /// CCD_REGISTER_CLASSIFIER; every lookup failure throws api::ApiError with
@@ -18,6 +22,7 @@
 
 #include "api/component_registry.h"
 #include "api/experiment.h"
+#include "api/monitor.h"
 #include "api/param_map.h"
 #include "api/suite.h"
 

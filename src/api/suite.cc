@@ -116,6 +116,16 @@ void JsonSink::Write(const SuiteResult& result) {
     for (size_t p = 0; p < c.result.drift_positions.size(); ++p) {
       out << (p == 0 ? "" : ", ") << c.result.drift_positions[p];
     }
+    out << "], \"drift_events\": [";
+    for (size_t p = 0; p < c.result.drift_events.size(); ++p) {
+      const DriftAlarm& alarm = c.result.drift_events[p];
+      out << (p == 0 ? "" : ", ") << "{\"position\": " << alarm.position
+          << ", \"drifted_classes\": [";
+      for (size_t k = 0; k < alarm.drifted_classes.size(); ++k) {
+        out << (k == 0 ? "" : ", ") << alarm.drifted_classes[k];
+      }
+      out << "]}";
+    }
     out << "], \"detector_seconds\": " << FmtG(c.result.detector_seconds)
         << ", \"classifier_seconds\": " << FmtG(c.result.classifier_seconds)
         << "}";

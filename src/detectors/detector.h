@@ -19,12 +19,15 @@ const char* DetectorStateName(DetectorState s);
 
 /// Common interface of all concept drift detectors.
 ///
-/// Detectors are driven prequentially: for every stream instance the harness
-/// calls Observe() with the true instance, the classifier's predicted label
-/// and its per-class scores *before* the classifier trains on the instance.
-/// Statistical detectors only use the implied error indicator; detectors
-/// designed for imbalanced streams (PerfSim, DDM-OCI, RBM-IM) use the label
-/// structure; the trainable RBM-IM uses the full feature vector.
+/// Detectors are driven prequentially by MonitorEngine (eval/engine.h),
+/// whether the labels arrive with their instances (offline RunPrequential)
+/// or late through the push API (api::Monitor): for every *labelled*
+/// instance the engine calls Observe() with the true instance, the label
+/// the classifier predicted at prediction time and its per-class scores,
+/// always *before* the classifier trains on the instance. Statistical
+/// detectors only use the implied error indicator; detectors designed for
+/// imbalanced streams (PerfSim, DDM-OCI, RBM-IM) use the label structure;
+/// the trainable RBM-IM uses the full feature vector.
 class DriftDetector {
  public:
   virtual ~DriftDetector() = default;
@@ -34,6 +37,9 @@ class DriftDetector {
 
   /// State resulting from the latest Observe() call. A drift signal is
   /// sticky for exactly one observation; detectors re-arm themselves.
+  /// Consume-on-read (latching) implementations are legal: the engine
+  /// reads state() exactly once per Observe(), including on warmup data,
+  /// and never replays a signal.
   virtual DetectorState state() const = 0;
 
   /// Clears all adaptive statistics (new concept assumed).
@@ -43,7 +49,10 @@ class DriftDetector {
 
   /// Classes implicated in the latest drift signal; empty for detectors
   /// that only monitor the global stream (the paper's key distinction —
-  /// only per-class monitors can explain *local* drift).
+  /// only per-class monitors can explain *local* drift). The engine reads
+  /// this immediately after a kDrift state() and publishes it in
+  /// PrequentialResult::drift_events and the OnDrift callback, so it must
+  /// stay valid (and const) right after the signal.
   virtual std::vector<int> drifted_classes() const { return {}; }
 };
 

@@ -1,0 +1,233 @@
+#include "eval/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace ccd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Argmax over the scores; an empty or short vector is legal (missing
+/// support counts as zero), so an all-missing prediction is class 0.
+int Argmax(const std::vector<double>& scores) {
+  int predicted = 0;
+  for (size_t c = 1; c < scores.size(); ++c) {
+    if (scores[c] > scores[predicted]) predicted = static_cast<int>(c);
+  }
+  return predicted;
+}
+
+}  // namespace
+
+MonitorEngine::MonitorEngine(const StreamSchema& schema,
+                             OnlineClassifier* classifier,
+                             DriftDetector* detector,
+                             const PrequentialConfig& config,
+                             EngineHooks hooks, size_t pending_capacity)
+    : schema_(schema),
+      classifier_(classifier),
+      detector_(detector),
+      config_(config),
+      hooks_(std::move(hooks)),
+      capacity_(pending_capacity < 1 ? 1 : pending_capacity),
+      metrics_(schema.num_classes, config.metric_window) {
+  if (classifier_ == nullptr) {
+    throw std::invalid_argument("MonitorEngine: classifier must not be null");
+  }
+  ValidatePrequentialConfig(config_);
+  acc_.class_counts.assign(
+      schema_.num_classes > 0 ? static_cast<size_t>(schema_.num_classes) : 0,
+      0);
+}
+
+void MonitorEngine::Feed(const Instance& instance) {
+  if (paused_) {
+    throw std::logic_error("MonitorEngine: Feed() on a paused engine");
+  }
+  if (completed_ < config_.warmup) {
+    Complete(instance, /*measured=*/false, 0, {});
+    return;
+  }
+  std::vector<double> scores = classifier_->PredictScores(instance);
+  int predicted = Argmax(scores);
+  Complete(instance, /*measured=*/true, predicted, scores);
+}
+
+MonitorEngine::Ticket MonitorEngine::Predict(
+    const std::vector<double>& features, double weight) {
+  if (paused_) {
+    throw std::logic_error("MonitorEngine: Predict() on a paused engine");
+  }
+  PendingPrediction p;
+  p.id = next_id_++;
+  p.instance = Instance(features, /*y=*/-1, weight);
+  p.scores = classifier_->PredictScores(p.instance);
+  p.predicted = Argmax(p.scores);
+
+  Ticket ticket;
+  ticket.id = p.id;
+  ticket.predicted = p.predicted;
+  ticket.scores = p.scores;
+
+  if (pending_.size() >= capacity_) {
+    pending_.pop_front();  // Oldest first: its label is the most overdue.
+    ++evicted_;
+  }
+  pending_.push_back(std::move(p));
+  return ticket;
+}
+
+LabelOutcome MonitorEngine::Label(uint64_t id, int true_label) {
+  // Ids are issued monotonically and the buffer is ordered, so the lookup
+  // is a binary search even when labels arrive out of order.
+  auto it = std::lower_bound(
+      pending_.begin(), pending_.end(), id,
+      [](const PendingPrediction& p, uint64_t v) { return p.id < v; });
+  if (it == pending_.end() || it->id != id) {
+    ++unmatched_;
+    return LabelOutcome::kUnknown;
+  }
+  PendingPrediction p = std::move(*it);
+  pending_.erase(it);
+  p.instance.label = true_label;
+  const bool measured = completed_ >= config_.warmup;
+  Complete(p.instance, measured, p.predicted, p.scores);
+  return LabelOutcome::kApplied;
+}
+
+void MonitorEngine::Complete(const Instance& instance, bool measured,
+                             int predicted,
+                             const std::vector<double>& scores) {
+  const uint64_t i = completed_;
+  ++acc_.instances;
+  if (instance.label >= 0 &&
+      static_cast<size_t>(instance.label) < acc_.class_counts.size()) {
+    ++acc_.class_counts[static_cast<size_t>(instance.label)];
+  }
+
+  if (!measured) {
+    classifier_->Train(instance);
+    // Let trainable detectors see warmup data too (the paper trains
+    // RBM-IM on the first batches before monitoring).
+    if (detector_ != nullptr) {
+      detector_->Observe(instance, instance.label, {});
+      // Consume (and discard) any drift signaled on warmup data. A
+      // detector whose drift flag latches until read would otherwise
+      // carry a warmup alarm into the first measured instance and force
+      // a spurious classifier reset there.
+      (void)detector_->state();
+    }
+    ++completed_;
+    return;
+  }
+
+  metrics_.Add(instance.label, predicted, scores);
+
+  if (detector_ != nullptr) {
+    if (config_.timing) {
+      auto t0 = Clock::now();
+      detector_->Observe(instance, predicted, scores);
+      acc_.detector_seconds += Seconds(t0, Clock::now());
+    } else {
+      detector_->Observe(instance, predicted, scores);
+    }
+    // Read state() exactly once per observation: latching detectors
+    // consume their flag on read.
+    const DetectorState st = detector_->state();
+    const DetectorState prev = last_state_;
+    last_state_ = st;
+    if (st == DetectorState::kDrift) {
+      ++acc_.drifts;
+      acc_.drift_positions.push_back(i);
+      acc_.drift_events.push_back(DriftAlarm{i, detector_->drifted_classes()});
+      if (hooks_.on_drift) {
+        hooks_.on_drift(acc_.drift_events.back(), TakeSnapshot(i));
+      }
+      if (config_.reset_on_drift) classifier_->Reset();
+    } else if (st == DetectorState::kWarning &&
+               prev != DetectorState::kWarning && hooks_.on_warning) {
+      // Fire on the *transition* into the warning zone only: DDM-family
+      // detectors sit in kWarning for whole regions, and the snapshot's
+      // pmAUC pass is too expensive to run per instance.
+      hooks_.on_warning(i, TakeSnapshot(i));
+    }
+  }
+
+  if (config_.timing) {
+    auto t0 = Clock::now();
+    classifier_->Train(instance);
+    acc_.classifier_seconds += Seconds(t0, Clock::now());
+  } else {
+    classifier_->Train(instance);
+  }
+
+  if ((i - config_.warmup) % static_cast<uint64_t>(config_.eval_interval) ==
+          0 &&
+      metrics_.size() >= 50) {
+    double pmauc = metrics_.PmAuc();
+    double pmgm = metrics_.PmGMean();
+    double accuracy = metrics_.Accuracy();
+    double kappa = metrics_.Kappa();
+    sum_pmauc_ += pmauc;
+    sum_pmgm_ += pmgm;
+    sum_acc_ += accuracy;
+    sum_kappa_ += kappa;
+    ++samples_;
+    acc_.pmauc_series.emplace_back(i, pmauc);
+    if (hooks_.on_metrics) {
+      MetricsSnapshot snapshot;
+      snapshot.position = i;
+      snapshot.pmauc = pmauc;
+      snapshot.pmgm = pmgm;
+      snapshot.accuracy = accuracy;
+      snapshot.kappa = kappa;
+      snapshot.window_size = metrics_.size();
+      hooks_.on_metrics(snapshot);
+    }
+  }
+  ++completed_;
+}
+
+MetricsSnapshot MonitorEngine::TakeSnapshot(uint64_t position) const {
+  MetricsSnapshot snapshot;
+  snapshot.position = position;
+  snapshot.pmauc = metrics_.PmAuc();
+  snapshot.pmgm = metrics_.PmGMean();
+  snapshot.accuracy = metrics_.Accuracy();
+  snapshot.kappa = metrics_.Kappa();
+  snapshot.window_size = metrics_.size();
+  return snapshot;
+}
+
+EngineSnapshot MonitorEngine::Snapshot() const {
+  EngineSnapshot s;
+  s.position = completed_;
+  s.pending = pending_.size();
+  s.evicted = evicted_;
+  s.unmatched_labels = unmatched_;
+  s.metric_samples = samples_;
+  s.drift_log = acc_.drift_events;
+  s.class_counts = acc_.class_counts;
+  s.window.assign(metrics_.entries().begin(), metrics_.entries().end());
+  return s;
+}
+
+PrequentialResult MonitorEngine::Result() const {
+  PrequentialResult r = acc_;
+  if (samples_ > 0) {
+    r.mean_pmauc = sum_pmauc_ / static_cast<double>(samples_);
+    r.mean_pmgm = sum_pmgm_ / static_cast<double>(samples_);
+    r.mean_accuracy = sum_acc_ / static_cast<double>(samples_);
+    r.mean_kappa = sum_kappa_ / static_cast<double>(samples_);
+  }
+  return r;
+}
+
+}  // namespace ccd

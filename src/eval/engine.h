@@ -1,0 +1,194 @@
+#ifndef CCD_EVAL_ENGINE_H_
+#define CCD_EVAL_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "classifiers/classifier.h"
+#include "detectors/detector.h"
+#include "eval/metrics.h"
+#include "eval/prequential.h"
+
+namespace ccd {
+
+/// Windowed-metric snapshot attached to engine events: the state of the
+/// sliding evaluation window at `position` completed instances.
+struct MetricsSnapshot {
+  uint64_t position = 0;
+  double pmauc = 0.0;
+  double pmgm = 0.0;
+  double accuracy = 0.0;
+  double kappa = 0.0;
+  size_t window_size = 0;
+};
+
+/// Optional event callbacks of a MonitorEngine. All fire synchronously on
+/// the thread driving the engine; metric snapshots (an O(W log W) pmAUC
+/// pass) are only computed for callbacks that are actually installed.
+struct EngineHooks {
+  /// A drift alarm on a measured (post-warmup) instance, before the
+  /// classifier reset/train for that instance.
+  std::function<void(const DriftAlarm&, const MetricsSnapshot&)> on_drift;
+  /// The detector *entered* its warning zone on this instance — fired on
+  /// the transition only, not on every instance of a persistent warning
+  /// region (DDM-family detectors re-report kWarning per observation, and
+  /// the snapshot is too expensive for per-instance use).
+  std::function<void(uint64_t position, const MetricsSnapshot&)> on_warning;
+  /// A periodic metric sample (every `eval_interval` measured instances,
+  /// once the window holds enough entries) — the same samples that feed
+  /// PrequentialResult::pmauc_series and the result means.
+  std::function<void(const MetricsSnapshot&)> on_metrics;
+};
+
+/// Copyable run state of a MonitorEngine at a point in time: everything a
+/// future intra-stream shard needs to resume evaluation mid-stream
+/// (prefix-state handoff), and everything an operator needs to inspect a
+/// live monitor.
+struct EngineSnapshot {
+  uint64_t position = 0;           ///< Completed (labelled) instances.
+  uint64_t pending = 0;            ///< Predictions still awaiting a label.
+  uint64_t evicted = 0;            ///< Predictions whose label never came.
+  uint64_t unmatched_labels = 0;   ///< Label() calls with no pending match.
+  uint64_t metric_samples = 0;     ///< Periodic samples taken so far.
+  std::vector<DriftAlarm> drift_log;
+  std::vector<uint64_t> class_counts;
+  /// Contents of the sliding metric window, oldest first.
+  std::vector<WindowedMetrics::Entry> window;
+};
+
+/// Outcome of MonitorEngine::Label().
+enum class LabelOutcome {
+  kApplied,  ///< The pending prediction was found and the step completed.
+  kUnknown,  ///< No pending prediction with that id (evicted or bogus).
+};
+
+/// Push-driven online evaluation engine: one (classifier, detector,
+/// windowed-metrics) triple behind a serving-style surface. The engine
+/// inverts the control flow of the classic pull-based prequential loop —
+/// instead of draining an InstanceStream, callers push events in:
+///
+///  * Feed(instance)       — immediate-label fast path: one full
+///                           test-then-train prequential step. Pushing a
+///                           stream through Feed() is bit-identical to the
+///                           pre-engine RunPrequential loop.
+///  * Predict(features)    — serving path, prediction side: returns a
+///                           ticket {id, predicted, scores} and parks the
+///                           prediction in a bounded pending buffer.
+///  * Label(id, label)     — serving path, label side: completes the
+///                           parked prediction with the (possibly late)
+///                           ground truth, using the scores captured at
+///                           prediction time, exactly as test-then-train
+///                           demands.
+///
+/// Verification latency: labels may arrive any number of predictions
+/// later, or never. The pending buffer is bounded; when full, the oldest
+/// prediction is evicted and counted (`evicted()`), so an engine under a
+/// label outage degrades to a bounded-memory predictor instead of leaking.
+///
+/// The engine is single-threaded by design: one engine per stream shard,
+/// sharding above it (api::Suite today, intra-stream sharding next — see
+/// Snapshot()).
+class MonitorEngine {
+ public:
+  /// A prediction handed back to the caller: the opaque id to label later,
+  /// plus the argmax label and per-class scores computed now.
+  struct Ticket {
+    uint64_t id = 0;
+    int predicted = 0;
+    std::vector<double> scores;
+  };
+
+  /// `classifier` must outlive the engine and be non-null; `detector` may
+  /// be null (pure classifier baseline). `config` is validated as in
+  /// RunPrequential (`max_instances` is ignored — push streams are
+  /// unbounded, the caller decides when to stop). `pending_capacity` bounds
+  /// the delayed-label buffer and is clamped to >= 1.
+  MonitorEngine(const StreamSchema& schema, OnlineClassifier* classifier,
+                DriftDetector* detector, const PrequentialConfig& config,
+                EngineHooks hooks = {}, size_t pending_capacity = 1024);
+
+  MonitorEngine(MonitorEngine&&) = default;
+  MonitorEngine& operator=(MonitorEngine&&) = default;
+
+  /// Immediate-label fast path: one prequential step (warmup handling,
+  /// predict, metrics, detector, drift coupling, train, sampling).
+  /// Throws std::logic_error while paused.
+  void Feed(const Instance& instance);
+
+  /// Serving path, prediction side. Scores come from the classifier as it
+  /// is *now*; a later Label() completes the step with these scores, so
+  /// prequential semantics (test before train) hold under verification
+  /// latency. Throws std::logic_error while paused.
+  Ticket Predict(const std::vector<double>& features, double weight = 1.0);
+
+  /// Serving path, label side. Ids are matched against the pending buffer;
+  /// evicted or never-issued ids return kUnknown and are counted. Allowed
+  /// while paused, so in-flight predictions can be drained before a
+  /// Snapshot() handoff.
+  LabelOutcome Label(uint64_t id, int true_label);
+
+  /// Pause() refuses new work (Feed/Predict throw std::logic_error) while
+  /// still accepting Label() for in-flight predictions — the drain step of
+  /// a shard handoff. Resume() re-opens the intake.
+  void Pause() { paused_ = true; }
+  void Resume() { paused_ = false; }
+  bool paused() const { return paused_; }
+
+  uint64_t position() const { return completed_; }
+  size_t pending() const { return pending_.size(); }
+  uint64_t evicted() const { return evicted_; }
+  uint64_t unmatched_labels() const { return unmatched_; }
+  /// Detector state after the most recent measured step (kStable when no
+  /// detector is attached or nothing completed yet).
+  DetectorState last_detector_state() const { return last_state_; }
+  const StreamSchema& schema() const { return schema_; }
+  const PrequentialConfig& config() const { return config_; }
+
+  /// Copyable run state for inspection and future shard handoff.
+  EngineSnapshot Snapshot() const;
+
+  /// Aggregate result over everything completed so far. Callable at any
+  /// time; the engine keeps accepting events afterwards.
+  PrequentialResult Result() const;
+
+ private:
+  struct PendingPrediction {
+    uint64_t id = 0;
+    Instance instance;  ///< Features + weight; label filled at Label().
+    int predicted = 0;
+    std::vector<double> scores;
+  };
+
+  /// One completed (labelled) instance — the body of the prequential loop.
+  /// `measured` is false for the warmup prefix (train-only, no metrics).
+  void Complete(const Instance& instance, bool measured, int predicted,
+                const std::vector<double>& scores);
+  MetricsSnapshot TakeSnapshot(uint64_t position) const;
+
+  StreamSchema schema_;
+  OnlineClassifier* classifier_ = nullptr;
+  DriftDetector* detector_ = nullptr;
+  PrequentialConfig config_;
+  EngineHooks hooks_;
+  size_t capacity_ = 1024;
+
+  WindowedMetrics metrics_;
+  std::deque<PendingPrediction> pending_;  ///< Ascending by id.
+  uint64_t next_id_ = 1;
+  uint64_t completed_ = 0;
+  uint64_t evicted_ = 0;
+  uint64_t unmatched_ = 0;
+  bool paused_ = false;
+  DetectorState last_state_ = DetectorState::kStable;
+
+  /// Accumulating result; means are finalized in Result().
+  PrequentialResult acc_;
+  double sum_pmauc_ = 0.0, sum_pmgm_ = 0.0, sum_acc_ = 0.0, sum_kappa_ = 0.0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace ccd
+
+#endif  // CCD_EVAL_ENGINE_H_

@@ -38,13 +38,19 @@ class WindowedMetrics {
   size_t size() const { return entries_.size(); }
   const ConfusionMatrix& confusion() const { return confusion_; }
 
- private:
+  /// One windowed outcome. Public so the monitoring engine can snapshot
+  /// the window contents for shard handoff (prefix-state transfer).
   struct Entry {
     int truth;
     int predicted;
     std::vector<double> scores;
   };
 
+  /// Window contents, oldest first. Together with the schema this is the
+  /// complete metric state of a run at a point in time.
+  const std::deque<Entry>& entries() const { return entries_; }
+
+ private:
   int num_classes_;
   int window_;
   std::deque<Entry> entries_;

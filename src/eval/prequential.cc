@@ -1,21 +1,11 @@
 #include "eval/prequential.h"
 
-#include <chrono>
 #include <stdexcept>
 #include <string>
 
-#include "eval/metrics.h"
+#include "eval/engine.h"
 
 namespace ccd {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double Seconds(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-}  // namespace
 
 void ValidatePrequentialConfig(const PrequentialConfig& config) {
   if (config.eval_interval <= 0) {
@@ -34,91 +24,14 @@ PrequentialResult RunPrequential(InstanceStream* stream,
                                  OnlineClassifier* classifier,
                                  DriftDetector* detector,
                                  const PrequentialConfig& config) {
-  ValidatePrequentialConfig(config);
-  PrequentialResult result;
-  const StreamSchema& schema = stream->schema();
-  WindowedMetrics metrics(schema.num_classes, config.metric_window);
-  result.class_counts.assign(
-      schema.num_classes > 0 ? static_cast<size_t>(schema.num_classes) : 0, 0);
-
-  double sum_pmauc = 0.0, sum_pmgm = 0.0, sum_acc = 0.0, sum_kappa = 0.0;
-  uint64_t samples = 0;
-
+  // Offline evaluation = the push engine fed with immediate labels. The
+  // engine owns the whole prequential step (warmup, metrics, drift
+  // coupling, sampling); this adapter only drains the stream into it.
+  MonitorEngine engine(stream->schema(), classifier, detector, config);
   for (uint64_t i = 0; i < config.max_instances; ++i) {
-    Instance instance = stream->Next();
-    ++result.instances;
-    if (instance.label >= 0 &&
-        static_cast<size_t>(instance.label) < result.class_counts.size()) {
-      ++result.class_counts[static_cast<size_t>(instance.label)];
-    }
-
-    if (i < config.warmup) {
-      classifier->Train(instance);
-      // Let trainable detectors see warmup data too (the paper trains
-      // RBM-IM on the first batches before monitoring).
-      if (detector != nullptr) {
-        detector->Observe(instance, instance.label, {});
-        // Consume (and discard) any drift signaled on warmup data. A
-        // detector whose drift flag latches until read would otherwise
-        // carry a warmup alarm into the first measured instance and force
-        // a spurious classifier reset there.
-        (void)detector->state();
-      }
-      continue;
-    }
-
-    std::vector<double> scores = classifier->PredictScores(instance);
-    // Argmax over the scores; an empty or short vector is legal (missing
-    // support counts as zero), so an all-missing prediction is class 0.
-    int predicted = 0;
-    for (size_t c = 1; c < scores.size(); ++c) {
-      if (scores[c] > scores[predicted]) predicted = static_cast<int>(c);
-    }
-    metrics.Add(instance.label, predicted, scores);
-
-    if (detector != nullptr) {
-      if (config.timing) {
-        auto t0 = Clock::now();
-        detector->Observe(instance, predicted, scores);
-        result.detector_seconds += Seconds(t0, Clock::now());
-      } else {
-        detector->Observe(instance, predicted, scores);
-      }
-      if (detector->state() == DetectorState::kDrift) {
-        ++result.drifts;
-        result.drift_positions.push_back(i);
-        if (config.reset_on_drift) classifier->Reset();
-      }
-    }
-
-    if (config.timing) {
-      auto t0 = Clock::now();
-      classifier->Train(instance);
-      result.classifier_seconds += Seconds(t0, Clock::now());
-    } else {
-      classifier->Train(instance);
-    }
-
-    if ((i - config.warmup) % static_cast<uint64_t>(config.eval_interval) ==
-            0 &&
-        metrics.size() >= 50) {
-      double pmauc = metrics.PmAuc();
-      sum_pmauc += pmauc;
-      sum_pmgm += metrics.PmGMean();
-      sum_acc += metrics.Accuracy();
-      sum_kappa += metrics.Kappa();
-      ++samples;
-      result.pmauc_series.emplace_back(i, pmauc);
-    }
+    engine.Feed(stream->Next());
   }
-
-  if (samples > 0) {
-    result.mean_pmauc = sum_pmauc / samples;
-    result.mean_pmgm = sum_pmgm / samples;
-    result.mean_accuracy = sum_acc / samples;
-    result.mean_kappa = sum_kappa / samples;
-  }
-  return result;
+  return engine.Result();
 }
 
 }  // namespace ccd

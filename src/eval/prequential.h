@@ -28,6 +28,22 @@ struct PrequentialConfig {
 /// same checks and reports them as ApiError.
 void ValidatePrequentialConfig(const PrequentialConfig& config);
 
+/// One detection-side drift event: where a detector fired and which
+/// classes it implicated (empty = global drift, or a detector that only
+/// monitors the aggregate stream). This is the detector's *answer*; the
+/// generator-side ground truth is ccd::DriftEvent (generators/drift.h).
+struct DriftAlarm {
+  uint64_t position = 0;
+  std::vector<int> drifted_classes;
+};
+
+inline bool operator==(const DriftAlarm& a, const DriftAlarm& b) {
+  return a.position == b.position && a.drifted_classes == b.drifted_classes;
+}
+inline bool operator!=(const DriftAlarm& a, const DriftAlarm& b) {
+  return !(a == b);
+}
+
 /// Aggregate outcome of a run.
 struct PrequentialResult {
   double mean_pmauc = 0.0;   ///< Mean of windowed pmAUC samples, in [0,1].
@@ -37,6 +53,10 @@ struct PrequentialResult {
   uint64_t instances = 0;
   uint64_t drifts = 0;
   std::vector<uint64_t> drift_positions;
+  /// Detection-side drift log, parallel to `drift_positions` but carrying
+  /// the classes each alarm implicated (detectors without local-drift
+  /// explanations leave them empty).
+  std::vector<DriftAlarm> drift_events;
   /// Realized per-class instance counts over the whole run (warmup
   /// included); labels outside [0, num_classes) are not counted.
   std::vector<uint64_t> class_counts;
@@ -53,6 +73,10 @@ struct PrequentialResult {
 /// (after warmup) the classifier is reset — the paper's coupling for
 /// measuring how detector quality drives classifier recovery. `detector`
 /// may be null (pure classifier baseline).
+///
+/// This is a thin adapter over MonitorEngine (eval/engine.h): it drains
+/// `stream` through the push-based engine with immediate labels, so
+/// offline evaluation and online serving share one implementation.
 PrequentialResult RunPrequential(InstanceStream* stream,
                                  OnlineClassifier* classifier,
                                  DriftDetector* detector,

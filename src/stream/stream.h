@@ -11,6 +11,11 @@ namespace ccd {
 /// Abstract source of a (conceptually unbounded) sequence of labelled
 /// instances <S_1, S_2, ...>. Implementations include synthetic concept
 /// generators, drift/imbalance wrappers, and in-memory replay streams.
+///
+/// A stream is one way — the offline way — of driving evaluation: the
+/// RunPrequential adapter drains it into a MonitorEngine with immediate
+/// labels. Live deployments skip streams entirely and push instances
+/// (and late labels) into api::Monitor themselves.
 class InstanceStream {
  public:
   virtual ~InstanceStream() = default;

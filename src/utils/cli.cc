@@ -1,8 +1,21 @@
 #include "utils/cli.h"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 
 namespace ccd {
+namespace {
+
+[[noreturn]] void ThrowMalformed(const std::string& name,
+                                 const std::string& value,
+                                 const char* expected) {
+  throw CliError("--" + name + ": expected " + expected + ", got '" + value +
+                 "'");
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -34,18 +47,49 @@ std::string Cli::GetString(const std::string& name,
 
 int Cli::GetInt(const std::string& name, int def) const {
   auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::atoi(it->second.c_str());
+  if (it == flags_.end()) return def;
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    ThrowMalformed(name, value, "an integer");
+  }
+  if (errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+    throw CliError("--" + name + ": integer out of range: '" + value + "'");
+  }
+  return static_cast<int>(parsed);
 }
 
 double Cli::GetDouble(const std::string& name, double def) const {
   auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::atof(it->second.c_str());
+  if (it == flags_.end()) return def;
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    ThrowMalformed(name, value, "a number");
+  }
+  // ERANGE also fires on *underflow*, where strtod still returns the best
+  // representable value (a subnormal or zero) — only overflow is an error.
+  if (errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL)) {
+    throw CliError("--" + name + ": number out of range: '" + value + "'");
+  }
+  return parsed;
 }
 
 bool Cli::GetBool(const std::string& name, bool def) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return it->second != "0" && it->second != "false" && it->second != "no";
+  const std::string& value = it->second;
+  if (value == "1" || value == "true" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "no" || value == "off") {
+    return false;
+  }
+  ThrowMalformed(name, value, "a boolean (1/0/true/false/yes/no/on/off)");
 }
 
 }  // namespace ccd

@@ -2,10 +2,18 @@
 #define CCD_UTILS_CLI_H_
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ccd {
+
+/// Thrown by the typed Cli getters on a malformed flag value. The message
+/// always names the offending flag and the value it carried.
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Tiny `--flag value` / `--flag` command-line parser used by the benchmark
 /// and example binaries. Unknown flags are kept so callers can forward the
@@ -17,10 +25,13 @@ class Cli {
   /// True if `--name` was passed (with or without a value).
   bool Has(const std::string& name) const;
 
-  /// Value of `--name`, or `def` when absent.
+  /// Value of `--name`, or `def` when absent. The typed getters throw
+  /// CliError on malformed values — trailing garbage ("10x"), non-numeric
+  /// text, or out-of-range magnitudes — instead of silently truncating.
   std::string GetString(const std::string& name, const std::string& def) const;
   int GetInt(const std::string& name, int def) const;
   double GetDouble(const std::string& name, double def) const;
+  /// Accepts 1/true/yes/on and 0/false/no/off; anything else is a CliError.
   bool GetBool(const std::string& name, bool def) const;
 
   /// Positional (non-flag) arguments in order of appearance.

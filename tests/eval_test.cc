@@ -385,6 +385,40 @@ TEST(PrequentialTest, PostWarmupScriptedDriftStillCounts) {
   EXPECT_EQ(clf.resets, 1);
 }
 
+/// Detector that always blames a fixed class set, to check the harness
+/// surfaces local-drift explanations instead of dropping them.
+class BlamingDetector : public DriftDetector {
+ public:
+  void Observe(const Instance&, int, const std::vector<double>&) override {
+    ++observed_;
+  }
+  DetectorState state() const override {
+    return observed_ == 700 ? DetectorState::kDrift : DetectorState::kStable;
+  }
+  void Reset() override {}
+  std::string name() const override { return "blaming"; }
+  std::vector<int> drifted_classes() const override { return {2}; }
+
+ private:
+  uint64_t observed_ = 0;
+};
+
+TEST(PrequentialTest, DriftEventsCarryLocalDriftInformation) {
+  // Satellite regression: detectors compute drifted_classes() but the old
+  // harness kept only positions. The result must now carry both.
+  auto stream = MakeDriftStream(1 << 30, 25);
+  CountingStubClassifier clf(stream->schema());
+  BlamingDetector det;
+  PrequentialConfig cfg;
+  cfg.max_instances = 2000;
+  cfg.warmup = 500;
+  PrequentialResult r = RunPrequential(stream.get(), &clf, &det, cfg);
+  ASSERT_EQ(r.drift_events.size(), r.drift_positions.size());
+  ASSERT_EQ(r.drift_events.size(), 1u);
+  EXPECT_EQ(r.drift_events[0].position, r.drift_positions[0]);
+  EXPECT_EQ(r.drift_events[0].drifted_classes, std::vector<int>{2});
+}
+
 TEST(PrequentialTest, CountsRealizedClassDistribution) {
   auto stream = MakeDriftStream(1 << 30, 23);
   GaussianNaiveBayes clf(stream->schema());

@@ -1,0 +1,533 @@
+// MonitorEngine + api::Monitor — the push-based online monitoring
+// surface. The load-bearing claims:
+//   (a) pushing a stream through the engine with immediate labels is
+//       bit-identical to RunPrequential (offline eval and online serving
+//       share one engine),
+//   (b) delayed labels applied in arrival order reproduce the same
+//       detector state and run result,
+//   (c) the bounded pending buffer evicts oldest-first, counts what it
+//       drops, and never goes out of bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "api/api.h"
+#include "classifiers/naive_bayes.h"
+#include "detectors/ddm.h"
+#include "detectors/fhddm.h"
+#include "eval/engine.h"
+#include "eval/prequential.h"
+#include "generators/registry.h"
+#include "stream/stream.h"
+
+namespace ccd {
+namespace {
+
+PrequentialConfig ShortConfig() {
+  PrequentialConfig cfg;
+  cfg.max_instances = 2000;
+  cfg.metric_window = 400;
+  cfg.eval_interval = 100;
+  cfg.warmup = 150;
+  cfg.timing = false;  // Wall-clock fields are inherently nondeterministic.
+  return cfg;
+}
+
+void ExpectBitIdentical(const PrequentialResult& a,
+                        const PrequentialResult& b) {
+  EXPECT_EQ(a.instances, b.instances);
+  EXPECT_EQ(a.mean_pmauc, b.mean_pmauc);
+  EXPECT_EQ(a.mean_pmgm, b.mean_pmgm);
+  EXPECT_EQ(a.mean_accuracy, b.mean_accuracy);
+  EXPECT_EQ(a.mean_kappa, b.mean_kappa);
+  EXPECT_EQ(a.drifts, b.drifts);
+  EXPECT_EQ(a.drift_positions, b.drift_positions);
+  EXPECT_EQ(a.drift_events, b.drift_events);
+  EXPECT_EQ(a.pmauc_series, b.pmauc_series);
+  EXPECT_EQ(a.class_counts, b.class_counts);
+}
+
+/// Stateless classifier: scores depend only on the instance (first feature
+/// modulo the class count gets the mass), Train is a no-op. Under it, a
+/// prediction made early is identical to one made late, so any label delay
+/// must leave the detector path untouched.
+class FrozenClassifier : public OnlineClassifier {
+ public:
+  explicit FrozenClassifier(const StreamSchema& schema) : schema_(schema) {}
+  const StreamSchema& schema() const override { return schema_; }
+  void Train(const Instance&) override {}
+  std::vector<double> PredictScores(const Instance& instance) const override {
+    const size_t k = static_cast<size_t>(schema_.num_classes);
+    std::vector<double> scores(k, 0.1 / static_cast<double>(k));
+    double f = instance.features.empty() ? 0.0 : instance.features[0];
+    size_t hot = static_cast<size_t>(std::abs(static_cast<long>(f * 7))) % k;
+    scores[hot] += 0.9;
+    return scores;
+  }
+  void Reset() override {}
+  std::unique_ptr<OnlineClassifier> Clone() const override {
+    return std::make_unique<FrozenClassifier>(schema_);
+  }
+  std::string name() const override { return "frozen"; }
+
+ private:
+  StreamSchema schema_;
+};
+
+/// Scripted detector with drifted-classes payloads, for testing that the
+/// engine surfaces local-drift information instead of dropping it.
+class ScriptedLocalDetector : public DriftDetector {
+ public:
+  void Observe(const Instance&, int, const std::vector<double>&) override {
+    ++observed_;
+    fired_ = observed_ == 400 || observed_ == 900;
+  }
+  DetectorState state() const override {
+    return fired_ ? DetectorState::kDrift : DetectorState::kStable;
+  }
+  void Reset() override { fired_ = false; }
+  std::string name() const override { return "scripted-local"; }
+  std::vector<int> drifted_classes() const override {
+    return fired_ ? std::vector<int>{1, 2} : std::vector<int>{};
+  }
+
+ private:
+  uint64_t observed_ = 0;
+  bool fired_ = false;
+};
+
+// ------------------------------------------------ (a) engine equivalence
+
+// Push-with-immediate-labels (engine Feed) == offline RunPrequential,
+// bit for bit, across a seeded (stream x detector) grid.
+TEST(MonitorEngineTest, FeedIsBitIdenticalToRunPrequential) {
+  const std::vector<std::string> streams = {"RBF5", "Aggrawal5"};
+  const std::vector<std::string> detectors = {"DDM", "FHDDM", "PerfSim"};
+  for (const std::string& stream_name : streams) {
+    for (const std::string& detector_name : detectors) {
+      SCOPED_TRACE(stream_name + " / " + detector_name);
+      const StreamSpec* spec = FindStreamSpec(stream_name);
+      ASSERT_NE(spec, nullptr);
+      BuildOptions options;
+      options.scale = 0.001;
+      options.seed = 42;
+
+      PrequentialConfig cfg = ShortConfig();
+
+      // Offline: the pull-based adapter.
+      BuiltStream offline = BuildStream(*spec, options);
+      auto offline_clf = api::MakeClassifier("cs-ptree", offline.stream->schema(),
+                                             options.seed);
+      auto offline_det = api::MakeDetector(detector_name,
+                                           offline.stream->schema(),
+                                           options.seed);
+      PrequentialResult pulled = RunPrequential(
+          offline.stream.get(), offline_clf.get(), offline_det.get(), cfg);
+
+      // Online: the same realization pushed through the engine.
+      BuiltStream online = BuildStream(*spec, options);
+      auto online_clf = api::MakeClassifier("cs-ptree", online.stream->schema(),
+                                            options.seed);
+      auto online_det = api::MakeDetector(detector_name,
+                                          online.stream->schema(),
+                                          options.seed);
+      MonitorEngine engine(online.stream->schema(), online_clf.get(),
+                           online_det.get(), cfg);
+      for (uint64_t i = 0; i < cfg.max_instances; ++i) {
+        engine.Feed(online.stream->Next());
+      }
+      ExpectBitIdentical(pulled, engine.Result());
+    }
+  }
+}
+
+// Predict()+Label() back to back is the same step as Feed().
+TEST(MonitorEngineTest, SplitPredictLabelMatchesFeed) {
+  const StreamSpec* spec = FindStreamSpec("RBF5");
+  ASSERT_NE(spec, nullptr);
+  BuildOptions options;
+  options.scale = 0.001;
+  PrequentialConfig cfg = ShortConfig();
+
+  BuiltStream a = BuildStream(*spec, options);
+  std::vector<Instance> data = Take(a.stream.get(), cfg.max_instances);
+
+  GaussianNaiveBayes clf_feed(a.stream->schema());
+  Fhddm det_feed;
+  MonitorEngine feed_engine(a.stream->schema(), &clf_feed, &det_feed, cfg);
+  for (const Instance& inst : data) feed_engine.Feed(inst);
+
+  GaussianNaiveBayes clf_split(a.stream->schema());
+  Fhddm det_split;
+  MonitorEngine split_engine(a.stream->schema(), &clf_split, &det_split, cfg);
+  for (const Instance& inst : data) {
+    MonitorEngine::Ticket t = split_engine.Predict(inst.features, inst.weight);
+    EXPECT_EQ(split_engine.Label(t.id, inst.label), LabelOutcome::kApplied);
+  }
+  ExpectBitIdentical(feed_engine.Result(), split_engine.Result());
+  EXPECT_EQ(split_engine.pending(), 0u);
+  EXPECT_EQ(split_engine.evicted(), 0u);
+}
+
+// ------------------------------------------- (b) delayed-label semantics
+
+// With a stateless classifier, delaying every label by k predictions (in
+// arrival order) reproduces the exact detector state and result of the
+// immediate-label run: the decoupled path itself introduces no drift in
+// behavior — any difference under a *learning* classifier is purely model
+// staleness, not engine state corruption.
+TEST(MonitorEngineTest, DelayedLabelsInArrivalOrderMatchImmediate) {
+  const StreamSpec* spec = FindStreamSpec("RBF5");
+  ASSERT_NE(spec, nullptr);
+  BuildOptions options;
+  options.scale = 0.001;
+  PrequentialConfig cfg = ShortConfig();
+
+  BuiltStream built = BuildStream(*spec, options);
+  std::vector<Instance> data = Take(built.stream.get(), cfg.max_instances);
+
+  for (size_t delay : {0u, 1u, 7u, 64u}) {
+    SCOPED_TRACE("delay=" + std::to_string(delay));
+    FrozenClassifier clf_now(built.stream->schema());
+    Ddm det_now;
+    MonitorEngine now(built.stream->schema(), &clf_now, &det_now, cfg);
+    for (const Instance& inst : data) now.Feed(inst);
+
+    FrozenClassifier clf_late(built.stream->schema());
+    Ddm det_late;
+    MonitorEngine late(built.stream->schema(), &clf_late, &det_late, cfg,
+                       EngineHooks{}, /*pending_capacity=*/delay + 1);
+    std::deque<std::pair<uint64_t, int>> queue;  // (id, true label)
+    for (const Instance& inst : data) {
+      MonitorEngine::Ticket t = late.Predict(inst.features, inst.weight);
+      queue.emplace_back(t.id, inst.label);
+      if (queue.size() > delay) {
+        EXPECT_EQ(late.Label(queue.front().first, queue.front().second),
+                  LabelOutcome::kApplied);
+        queue.pop_front();
+      }
+    }
+    while (!queue.empty()) {  // Drain the tail.
+      EXPECT_EQ(late.Label(queue.front().first, queue.front().second),
+                LabelOutcome::kApplied);
+      queue.pop_front();
+    }
+    ExpectBitIdentical(now.Result(), late.Result());
+    EXPECT_EQ(late.last_detector_state(), now.last_detector_state());
+    EXPECT_EQ(late.evicted(), 0u);
+  }
+}
+
+// Out-of-order labels: every prediction still completes exactly once and
+// the run accounts for every instance.
+TEST(MonitorEngineTest, OutOfOrderLabelsAllComplete) {
+  const StreamSpec* spec = FindStreamSpec("RBF5");
+  ASSERT_NE(spec, nullptr);
+  BuildOptions options;
+  options.scale = 0.001;
+  PrequentialConfig cfg = ShortConfig();
+  cfg.max_instances = 600;
+
+  BuiltStream built = BuildStream(*spec, options);
+  std::vector<Instance> data = Take(built.stream.get(), cfg.max_instances);
+  GaussianNaiveBayes clf(built.stream->schema());
+  MonitorEngine engine(built.stream->schema(), &clf, nullptr, cfg);
+
+  // Predict in batches of 4, label each batch in reverse.
+  std::vector<std::pair<uint64_t, int>> batch;
+  for (const Instance& inst : data) {
+    MonitorEngine::Ticket t = engine.Predict(inst.features, inst.weight);
+    batch.emplace_back(t.id, inst.label);
+    if (batch.size() == 4) {
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        EXPECT_EQ(engine.Label(it->first, it->second), LabelOutcome::kApplied);
+      }
+      batch.clear();
+    }
+  }
+  PrequentialResult r = engine.Result();
+  EXPECT_EQ(r.instances, 600u);
+  EXPECT_EQ(engine.pending(), 0u);
+  uint64_t total = 0;
+  for (uint64_t c : r.class_counts) total += c;
+  EXPECT_EQ(total, 600u);
+}
+
+// --------------------------------------------- (c) bounded pending buffer
+
+TEST(MonitorEngineTest, EvictionIsCountedOldestFirstAndNeverOOBs) {
+  StreamSchema schema(4, 3, "synthetic");
+  FrozenClassifier clf(schema);
+  PrequentialConfig cfg = ShortConfig();
+  MonitorEngine engine(schema, &clf, nullptr, cfg, EngineHooks{},
+                       /*pending_capacity=*/8);
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    MonitorEngine::Ticket t =
+        engine.Predict({static_cast<double>(i), 0.0, 0.0, 0.0});
+    ids.push_back(t.id);
+    EXPECT_LE(engine.pending(), 8u);
+  }
+  // 100 predictions into a buffer of 8: 92 evicted, oldest first.
+  EXPECT_EQ(engine.evicted(), 92u);
+  EXPECT_EQ(engine.pending(), 8u);
+
+  // Labels for evicted ids are unknown (never applied, counted) ...
+  EXPECT_EQ(engine.Label(ids[0], 1), LabelOutcome::kUnknown);
+  EXPECT_EQ(engine.Label(ids[91], 1), LabelOutcome::kUnknown);
+  // ... as are ids never issued.
+  EXPECT_EQ(engine.Label(999999, 1), LabelOutcome::kUnknown);
+  EXPECT_EQ(engine.unmatched_labels(), 3u);
+  EXPECT_EQ(engine.position(), 0u);  // Nothing completed.
+
+  // The 8 survivors all complete.
+  for (size_t i = 92; i < 100; ++i) {
+    EXPECT_EQ(engine.Label(ids[i], static_cast<int>(i % 3)),
+              LabelOutcome::kApplied);
+  }
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.position(), 8u);
+  // Double-labelling a completed prediction is unknown, not a crash.
+  EXPECT_EQ(engine.Label(ids[99], 1), LabelOutcome::kUnknown);
+}
+
+TEST(MonitorEngineTest, CapacityIsClampedToOne) {
+  StreamSchema schema(2, 2, "synthetic");
+  FrozenClassifier clf(schema);
+  MonitorEngine engine(schema, &clf, nullptr, ShortConfig(), EngineHooks{},
+                       /*pending_capacity=*/0);
+  engine.Predict({0.0, 0.0});
+  engine.Predict({1.0, 0.0});
+  EXPECT_EQ(engine.pending(), 1u);
+  EXPECT_EQ(engine.evicted(), 1u);
+}
+
+// -------------------------------------------------- events and snapshots
+
+TEST(MonitorEngineTest, DriftEventsCarryDriftedClasses) {
+  StreamSchema schema(3, 4, "synthetic");
+  FrozenClassifier clf(schema);
+  ScriptedLocalDetector det;
+  PrequentialConfig cfg = ShortConfig();
+  cfg.warmup = 100;
+
+  std::vector<DriftAlarm> seen;
+  std::vector<MetricsSnapshot> metric_events;
+  EngineHooks hooks;
+  hooks.on_drift = [&](const DriftAlarm& a, const MetricsSnapshot& m) {
+    seen.push_back(a);
+    EXPECT_EQ(m.position, a.position);
+    EXPECT_GT(m.window_size, 0u);
+  };
+  hooks.on_metrics = [&](const MetricsSnapshot& m) {
+    metric_events.push_back(m);
+  };
+  MonitorEngine engine(schema, &clf, &det, cfg, std::move(hooks));
+
+  for (int i = 0; i < 1500; ++i) {
+    engine.Feed(Instance({static_cast<double>(i % 5), 0.0, 0.0}, i % 4));
+  }
+  PrequentialResult r = engine.Result();
+  // The detector fires on its 400th and 900th Observe() call; the engine
+  // feeds it warmup data too, so those land at stream positions 399/899.
+  ASSERT_EQ(r.drift_events.size(), 2u);
+  EXPECT_EQ(r.drift_events[0].position, 399u);
+  EXPECT_EQ(r.drift_events[1].position, 899u);
+  EXPECT_EQ(r.drift_events[0].drifted_classes, (std::vector<int>{1, 2}));
+  EXPECT_EQ(r.drift_positions,
+            (std::vector<uint64_t>{399u, 899u}));
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(r.drift_events, seen);
+
+  // on_metrics fired exactly at the sampled positions of the series.
+  ASSERT_EQ(metric_events.size(), r.pmauc_series.size());
+  for (size_t i = 0; i < metric_events.size(); ++i) {
+    EXPECT_EQ(metric_events[i].position, r.pmauc_series[i].first);
+    EXPECT_EQ(metric_events[i].pmauc, r.pmauc_series[i].second);
+  }
+}
+
+/// Detector that sits in a persistent warning region — the DDM-family
+/// shape the on_warning hook must not fire per-instance for.
+class WarningRegionDetector : public DriftDetector {
+ public:
+  void Observe(const Instance&, int, const std::vector<double>&) override {
+    ++observed_;
+  }
+  DetectorState state() const override {
+    // Two warning regions: [300, 400) and [600, 650).
+    const bool warn = (observed_ >= 300 && observed_ < 400) ||
+                      (observed_ >= 600 && observed_ < 650);
+    return warn ? DetectorState::kWarning : DetectorState::kStable;
+  }
+  void Reset() override {}
+  std::string name() const override { return "warning-region"; }
+
+ private:
+  uint64_t observed_ = 0;
+};
+
+TEST(MonitorEngineTest, WarningFiresOncePerRegionEntry) {
+  StreamSchema schema(3, 4, "synthetic");
+  FrozenClassifier clf(schema);
+  WarningRegionDetector det;
+  PrequentialConfig cfg = ShortConfig();
+  cfg.warmup = 100;
+
+  std::vector<uint64_t> warnings;
+  EngineHooks hooks;
+  hooks.on_warning = [&](uint64_t position, const MetricsSnapshot&) {
+    warnings.push_back(position);
+  };
+  MonitorEngine engine(schema, &clf, &det, cfg, std::move(hooks));
+  for (int i = 0; i < 1000; ++i) {
+    engine.Feed(Instance({static_cast<double>(i % 5), 0.0, 0.0}, i % 4));
+  }
+  // One callback per region *entry* (positions 299 and 599: the 300th and
+  // 600th Observe), not one per warning instance.
+  EXPECT_EQ(warnings, (std::vector<uint64_t>{299u, 599u}));
+}
+
+TEST(MonitorEngineTest, SnapshotCapturesRunState) {
+  StreamSchema schema(3, 4, "synthetic");
+  FrozenClassifier clf(schema);
+  ScriptedLocalDetector det;
+  PrequentialConfig cfg = ShortConfig();
+  cfg.warmup = 100;
+  MonitorEngine engine(schema, &clf, &det, cfg);
+
+  for (int i = 0; i < 700; ++i) {
+    engine.Feed(Instance({static_cast<double>(i % 5), 0.0, 0.0}, i % 4));
+  }
+  engine.Predict({1.0, 2.0, 3.0});
+
+  EngineSnapshot s = engine.Snapshot();
+  EXPECT_EQ(s.position, 700u);
+  EXPECT_EQ(s.pending, 1u);
+  EXPECT_EQ(s.evicted, 0u);
+  ASSERT_EQ(s.drift_log.size(), 1u);
+  EXPECT_EQ(s.drift_log[0].position, 399u);
+  ASSERT_EQ(s.class_counts.size(), 4u);
+  uint64_t total = 0;
+  for (uint64_t c : s.class_counts) total += c;
+  EXPECT_EQ(total, 700u);
+  // 600 measured instances into a 400-wide window.
+  EXPECT_EQ(s.window.size(), 400u);
+  EXPECT_GT(s.metric_samples, 0u);
+}
+
+TEST(MonitorEngineTest, PauseRefusesIntakeButDrainsLabels) {
+  StreamSchema schema(2, 2, "synthetic");
+  FrozenClassifier clf(schema);
+  MonitorEngine engine(schema, &clf, nullptr, ShortConfig());
+
+  MonitorEngine::Ticket t = engine.Predict({1.0, 2.0});
+  engine.Pause();
+  EXPECT_TRUE(engine.paused());
+  EXPECT_THROW(engine.Predict({0.0, 1.0}), std::logic_error);
+  EXPECT_THROW(engine.Feed(Instance({0.0, 1.0}, 0)), std::logic_error);
+  // Draining in-flight work stays legal while paused.
+  EXPECT_EQ(engine.Label(t.id, 1), LabelOutcome::kApplied);
+  engine.Resume();
+  EXPECT_FALSE(engine.paused());
+  engine.Feed(Instance({0.0, 1.0}, 0));
+  EXPECT_EQ(engine.position(), 2u);
+}
+
+TEST(MonitorEngineTest, NullClassifierIsRejected) {
+  StreamSchema schema(2, 2, "synthetic");
+  EXPECT_THROW(MonitorEngine(schema, nullptr, nullptr, ShortConfig()),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- api::Monitor
+
+TEST(ApiMonitorTest, BuilderComposesAndRunsEndToEnd) {
+  const StreamSpec* spec = FindStreamSpec("RBF5");
+  ASSERT_NE(spec, nullptr);
+  BuildOptions options;
+  options.scale = 0.001;
+  BuiltStream built = BuildStream(*spec, options);
+  const StreamSchema& schema = built.stream->schema();
+
+  PrequentialConfig cfg = ShortConfig();
+  int drift_callbacks = 0;
+  api::Monitor monitor = api::MonitorBuilder()
+                             .Schema(schema)
+                             .Classifier("cs-ptree")
+                             .Detector("FHDDM")
+                             .Seed(42)
+                             .Protocol(cfg)
+                             .PendingCapacity(16)
+                             .OnDrift([&](const DriftAlarm&,
+                                          const MetricsSnapshot&) {
+                               ++drift_callbacks;
+                             })
+                             .Build();
+
+  // Identical composition through Experiment: same engine, same numbers.
+  PrequentialResult offline = api::Experiment()
+                                  .Stream(*spec)
+                                  .Options(options)
+                                  .Classifier("cs-ptree")
+                                  .Detector("FHDDM")
+                                  .Prequential(cfg)
+                                  .Run();
+
+  for (uint64_t i = 0; i < cfg.max_instances; ++i) {
+    Instance inst = built.stream->Next();
+    if (i % 2 == 0) {
+      monitor.Feed(inst);
+    } else {
+      api::Monitor::Prediction p = monitor.Predict(inst.features, inst.weight);
+      EXPECT_EQ(static_cast<size_t>(schema.num_classes), p.scores.size());
+      EXPECT_TRUE(monitor.Label(p.id, inst.label));
+    }
+  }
+  ExpectBitIdentical(offline, monitor.Result());
+  EXPECT_EQ(drift_callbacks, static_cast<int>(monitor.Result().drifts));
+}
+
+TEST(ApiMonitorTest, BuilderValidation) {
+  // Schema is mandatory and must be sane.
+  EXPECT_THROW(api::MonitorBuilder().Build(), api::ApiError);
+  EXPECT_THROW(api::MonitorBuilder().Schema(0, 1).Build(), api::ApiError);
+  // Unknown components throw the registry's listing error.
+  EXPECT_THROW(
+      api::MonitorBuilder().Schema(4, 2).Detector("NotADetector").Build(),
+      api::ApiError);
+  EXPECT_THROW(
+      api::MonitorBuilder().Schema(4, 2).Classifier("NotAClassifier").Build(),
+      api::ApiError);
+  // Degenerate protocols are an ApiError at Build(), not UB later.
+  PrequentialConfig bad;
+  bad.eval_interval = 0;
+  EXPECT_THROW(api::MonitorBuilder().Schema(4, 2).Protocol(bad).Build(),
+               api::ApiError);
+}
+
+TEST(ApiMonitorTest, PauseSnapshotResumeRoundTrip) {
+  api::Monitor monitor =
+      api::MonitorBuilder().Schema(4, 3).Classifier("naive-bayes").Build();
+  for (int i = 0; i < 40; ++i) {
+    monitor.Feed(Instance({1.0 * i, 0.0, 0.0, 0.0}, i % 3));
+  }
+  monitor.Pause();
+  EXPECT_THROW(monitor.Feed(Instance({0.0, 0.0, 0.0, 0.0}, 0)),
+               std::logic_error);
+  EngineSnapshot s = monitor.Snapshot();
+  EXPECT_EQ(s.position, 40u);
+  monitor.Resume();
+  monitor.Feed(Instance({0.0, 0.0, 0.0, 0.0}, 0));
+  EXPECT_EQ(monitor.position(), 41u);
+}
+
+}  // namespace
+}  // namespace ccd

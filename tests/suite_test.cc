@@ -166,6 +166,8 @@ TEST(SuiteTest, SinksReceiveTheCompletedRun) {
   EXPECT_NE(json_text.find("\"cells\""), std::string::npos);
   EXPECT_NE(json_text.find("\"aggregates\""), std::string::npos);
   EXPECT_NE(json_text.find("\"drift_positions\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"drift_events\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"drifted_classes\""), std::string::npos);
   std::remove(cells_csv.c_str());
   std::remove(agg_csv.c_str());
   std::remove(json.c_str());

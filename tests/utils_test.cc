@@ -166,6 +166,68 @@ TEST(TableTest, TextAndCsvRendering) {
   EXPECT_EQ(t.num_rows(), 2u);
 }
 
+TEST(CliTest, MalformedIntIsACliErrorNamingTheFlag) {
+  // Regression: GetInt used atoi, so "--threads abc" silently became 0 and
+  // "--seed 10x" silently truncated to 10. Both are now hard errors.
+  const char* argv[] = {"prog", "--threads", "abc", "--seed", "10x"};
+  Cli cli(5, const_cast<char**>(argv));
+  try {
+    cli.GetInt("threads", 1);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("--threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(cli.GetInt("seed", 1), CliError);  // Trailing garbage.
+}
+
+TEST(CliTest, IntOverflowIsACliError) {
+  const char* argv[] = {"prog", "--big", "99999999999999999999",
+                        "--huge", "5000000000"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_THROW(cli.GetInt("big", 1), CliError);   // > LONG_MAX.
+  EXPECT_THROW(cli.GetInt("huge", 1), CliError);  // Fits long, not int.
+}
+
+TEST(CliTest, MalformedDoubleIsACliError) {
+  const char* argv[] = {"prog", "--scale", "fast", "--rate", "1.5e",
+                        "--big", "1e999"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_THROW(cli.GetDouble("scale", 1.0), CliError);
+  EXPECT_THROW(cli.GetDouble("rate", 1.0), CliError);
+  EXPECT_THROW(cli.GetDouble("big", 1.0), CliError);    // Overflow.
+  EXPECT_THROW(cli.GetBool("scale", false), CliError);  // "fast" is no bool.
+}
+
+TEST(CliTest, DoubleUnderflowIsNotAnError) {
+  // strtod sets ERANGE on underflow too, while still returning the best
+  // representable value — a subnormal must parse, not abort.
+  const char* argv[] = {"prog", "--tiny", "1e-320", "--zeroish", "1e-999"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_GT(cli.GetDouble("tiny", 1.0), 0.0);
+  EXPECT_LT(cli.GetDouble("tiny", 1.0), 1e-300);
+  EXPECT_EQ(cli.GetDouble("zeroish", 1.0), 0.0);
+}
+
+TEST(CliTest, WellFormedValuesStillParse) {
+  const char* argv[] = {"prog", "--threads", "8",    "--scale", "0.5",
+                        "--neg", "-3",      "--on",  "yes",     "--off",
+                        "off",   "--exp",   "1e-3"};
+  Cli cli(13, const_cast<char**>(argv));
+  EXPECT_EQ(cli.GetInt("threads", 1), 8);
+  EXPECT_EQ(cli.GetInt("neg", 1), -3);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("scale", 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("exp", 1.0), 1e-3);
+  EXPECT_TRUE(cli.GetBool("on", false));
+  EXPECT_FALSE(cli.GetBool("off", true));
+  // Bare flags carry the implicit value "1".
+  const char* argv2[] = {"prog", "--verbose"};
+  Cli cli2(2, const_cast<char**>(argv2));
+  EXPECT_TRUE(cli2.GetBool("verbose", false));
+  EXPECT_EQ(cli2.GetInt("verbose", 0), 1);
+}
+
 TEST(CliTest, ParsesFlagsAndPositional) {
   // Note: a bare flag followed by a non-flag token would consume it as a
   // value (greedy rule), so positional arguments precede flags here.
