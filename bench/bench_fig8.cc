@@ -5,11 +5,14 @@
 // protocol), so the leftmost points are the hardest.
 //
 // Usage:
-//   bench_fig8 [--scale 0.005] [--seed 42] [--threads N] [--streams RBF5,...]
+//   bench_fig8 [--scale 0.005] [--seed 42] [--threads N] [--shards K]
+//              [--streams RBF5,...]
 //              [--detectors ...] [--csv fig8.csv] [--json fig8.json]
 //
 // The (stream, drifted-class-count, detector) grid runs on api::Suite;
-// --threads shards it across workers (0 = all cores).
+// --threads shards it across workers (0 = all cores); --shards K splits
+// each cell's stream into K pipelined handoff blocks (bit-identical
+// results; eval/sharded.h).
 
 #include <cstdio>
 #include <memory>
@@ -59,7 +62,9 @@ int main(int argc, char** argv) try {
   };
   std::vector<Point> points;
   ccd::api::Suite suite;
-  suite.Detectors(detectors).Threads(cli.GetInt("threads", 0));
+  suite.Detectors(detectors)
+      .Threads(cli.GetInt("threads", 0))
+      .Shards(cli.GetInt("shards", 1));
   for (const ccd::StreamSpec& spec : ccd::ArtificialStreamSpecs()) {
     if (!stream_filter.empty()) {
       bool keep = false;

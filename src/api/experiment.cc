@@ -58,6 +58,12 @@ Experiment& Experiment::Prequential(const PrequentialConfig& config) {
   return *this;
 }
 
+Experiment& Experiment::Shards(int shards) {
+  shards_ = shards;
+  has_shards_ = true;
+  return *this;
+}
+
 Experiment::Built Experiment::Build() const {
   if (!has_spec_) {
     throw ApiError(
@@ -78,14 +84,6 @@ Experiment::Built Experiment::Build() const {
   if (has_config_) {
     out.config = config_;
     if (out.config.max_instances == 0) out.config.max_instances = out.stream.length;
-    // Reject degenerate protocols here, where the caller composed them —
-    // RunPrequential would throw std::invalid_argument later, but an
-    // ApiError at Build() points at the Experiment that carried them.
-    try {
-      ValidatePrequentialConfig(out.config);
-    } catch (const std::invalid_argument& e) {
-      throw ApiError(e.what());
-    }
   } else {
     // The paper's protocol: windowed metrics over W=1000 sampled every 250
     // instances after a 500-instance warmup, over the realized length.
@@ -93,6 +91,15 @@ Experiment::Built Experiment::Build() const {
     out.config.metric_window = 1000;
     out.config.eval_interval = 250;
     out.config.warmup = 500;
+  }
+  if (has_shards_) out.config.shards = shards_;
+  // Reject degenerate protocols here, where the caller composed them —
+  // RunPrequential would throw std::invalid_argument later, but an
+  // ApiError at Build() points at the Experiment that carried them.
+  try {
+    ValidatePrequentialConfig(out.config);
+  } catch (const std::invalid_argument& e) {
+    throw ApiError(e.what());
   }
   return out;
 }

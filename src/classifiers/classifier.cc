@@ -1,6 +1,14 @@
 #include "classifiers/classifier.h"
 
+#include <stdexcept>
+
 namespace ccd {
+
+std::unique_ptr<OnlineClassifier> OnlineClassifier::CloneState() const {
+  throw std::logic_error("classifier '" + name() +
+                         "' does not implement CloneState(); it cannot "
+                         "participate in sharded evaluation / state handoff");
+}
 
 int OnlineClassifier::Predict(const Instance& instance) const {
   std::vector<double> scores = PredictScores(instance);

@@ -34,6 +34,15 @@ class OnlineClassifier {
   /// Fresh, untrained classifier with identical configuration.
   virtual std::unique_ptr<OnlineClassifier> Clone() const = 0;
 
+  /// Deep copy *including all learned state*: the copy's future
+  /// Train/PredictScores behavior is bit-identical to this classifier's.
+  /// This is the classifier half of the intra-stream shard handoff
+  /// (eval/sharded.h) — block k+1's worker resumes from block k's clone.
+  /// The default implementation throws std::logic_error; every classifier
+  /// registered with the api layer implements it (the snapshot/restore
+  /// property test loops over the registry to keep that true).
+  virtual std::unique_ptr<OnlineClassifier> CloneState() const;
+
   virtual std::string name() const = 0;
 };
 

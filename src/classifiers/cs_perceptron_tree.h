@@ -49,6 +49,9 @@ class CsPerceptronTree : public OnlineClassifier {
   std::vector<double> PredictScores(const Instance& instance) const override;
   void Reset() override;
   std::unique_ptr<OnlineClassifier> Clone() const override;
+  /// Deep copy of the whole tree — node topology, per-leaf Gaussian
+  /// estimators and trained leaf perceptrons.
+  std::unique_ptr<OnlineClassifier> CloneState() const override;
   std::string name() const override { return "CSPerceptronTree"; }
 
   int num_leaves() const { return num_leaves_; }

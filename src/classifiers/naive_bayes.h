@@ -22,6 +22,9 @@ class GaussianNaiveBayes : public OnlineClassifier {
   std::vector<double> PredictScores(const Instance& instance) const override;
   void Reset() override;
   std::unique_ptr<OnlineClassifier> Clone() const override;
+  std::unique_ptr<OnlineClassifier> CloneState() const override {
+    return std::make_unique<GaussianNaiveBayes>(*this);
+  }
   std::string name() const override { return "GaussianNB"; }
 
  private:

@@ -35,6 +35,9 @@ class SoftmaxPerceptron : public OnlineClassifier {
   std::vector<double> PredictScores(const Instance& instance) const override;
   void Reset() override;
   std::unique_ptr<OnlineClassifier> Clone() const override;
+  std::unique_ptr<OnlineClassifier> CloneState() const override {
+    return std::make_unique<SoftmaxPerceptron>(*this);
+  }
   std::string name() const override { return "SoftmaxPerceptron"; }
 
   /// Cost weight currently applied to class k's updates.

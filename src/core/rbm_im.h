@@ -94,6 +94,11 @@ class RbmIm : public DriftDetector {
   void Reset() override;
   std::string name() const override { return "RBM-IM"; }
   std::vector<int> drifted_classes() const override { return drifted_; }
+  /// Deep copy of the full detector state: RBM weights *and* its RNG
+  /// cursor, the streaming normalizer bounds, the pending mini-batch, and
+  /// every per-class monitor (ADWIN, trend window, baselines) — so the
+  /// copy's future batch decisions are bit-identical.
+  std::unique_ptr<DriftDetector> CloneState() const override;
 
   /// Introspection for tests and diagnostics.
   const Rbm& rbm() const { return *rbm_; }

@@ -36,6 +36,9 @@ class Adwin : public ErrorRateDetector {
   DetectorState state() const override { return state_; }
   void Reset() override;
   std::string name() const override { return "ADWIN"; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<Adwin>(*this);
+  }
 
   /// Current adaptive window length.
   long long width() const { return total_count_; }

@@ -27,6 +27,9 @@ class Ddm : public ErrorRateDetector {
   DetectorState state() const override { return state_; }
   void Reset() override;
   std::string name() const override { return "DDM"; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<Ddm>(*this);
+  }
 
  private:
   Params params_;

@@ -43,6 +43,9 @@ class DdmOci : public DriftDetector {
   void Reset() override;
   std::string name() const override { return "DDM-OCI"; }
   std::vector<int> drifted_classes() const override { return drifted_; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<DdmOci>(*this);
+  }
 
   /// Current decayed recall of class k (exposed for tests/diagnostics).
   double recall(int k) const { return recall_[static_cast<size_t>(k)]; }

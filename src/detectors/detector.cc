@@ -1,6 +1,14 @@
 #include "detectors/detector.h"
 
+#include <stdexcept>
+
 namespace ccd {
+
+std::unique_ptr<DriftDetector> DriftDetector::CloneState() const {
+  throw std::logic_error("detector '" + name() +
+                         "' does not implement CloneState(); it cannot "
+                         "participate in sharded evaluation / state handoff");
+}
 
 const char* DetectorStateName(DetectorState s) {
   switch (s) {

@@ -1,6 +1,7 @@
 #ifndef CCD_DETECTORS_DETECTOR_H_
 #define CCD_DETECTORS_DETECTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,15 @@ class DriftDetector {
 
   /// Clears all adaptive statistics (new concept assumed).
   virtual void Reset() = 0;
+
+  /// Deep copy *including all adaptive statistics*: the copy's future
+  /// Observe()/state() behavior is bit-identical to this detector's. This
+  /// is the detector half of the intra-stream shard handoff
+  /// (eval/sharded.h). The default implementation throws std::logic_error;
+  /// every detector registered with the api layer implements it (the
+  /// snapshot/restore property test loops over the registry to keep that
+  /// true). Value-semantic detectors implement it as a one-line copy.
+  virtual std::unique_ptr<DriftDetector> CloneState() const;
 
   virtual std::string name() const = 0;
 

@@ -26,6 +26,9 @@ class Ecdd : public ErrorRateDetector {
   DetectorState state() const override { return state_; }
   void Reset() override;
   std::string name() const override { return "ECDD"; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<Ecdd>(*this);
+  }
 
  private:
   Params params_;

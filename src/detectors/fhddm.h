@@ -28,6 +28,9 @@ class Fhddm : public ErrorRateDetector {
   DetectorState state() const override { return state_; }
   void Reset() override;
   std::string name() const override { return "FHDDM"; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<Fhddm>(*this);
+  }
 
  private:
   Params params_;

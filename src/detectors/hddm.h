@@ -27,6 +27,9 @@ class HddmA : public ErrorRateDetector {
   DetectorState state() const override { return state_; }
   void Reset() override;
   std::string name() const override { return "HDDM-A"; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<HddmA>(*this);
+  }
 
  private:
   double Bound(double n, double confidence) const;

@@ -26,6 +26,9 @@ class PageHinkley : public ErrorRateDetector {
   DetectorState state() const override { return state_; }
   void Reset() override;
   std::string name() const override { return "PageHinkley"; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<PageHinkley>(*this);
+  }
 
  private:
   Params params_;

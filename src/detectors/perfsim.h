@@ -33,6 +33,9 @@ class PerfSim : public DriftDetector {
   void Reset() override;
   std::string name() const override { return "PerfSim"; }
   std::vector<int> drifted_classes() const override { return drifted_; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<PerfSim>(*this);
+  }
 
  private:
   static double CosineSimilarity(const std::vector<double>& a,

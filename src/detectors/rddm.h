@@ -32,6 +32,9 @@ class Rddm : public ErrorRateDetector {
   DetectorState state() const override { return state_; }
   void Reset() override;
   std::string name() const override { return "RDDM"; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<Rddm>(*this);
+  }
 
  private:
   void SoftReset();

@@ -34,6 +34,9 @@ class Wstd : public ErrorRateDetector {
   DetectorState state() const override { return state_; }
   void Reset() override;
   std::string name() const override { return "WSTD"; }
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<Wstd>(*this);
+  }
 
  private:
   Params params_;

@@ -213,10 +213,97 @@ EngineSnapshot MonitorEngine::Snapshot() const {
   s.evicted = evicted_;
   s.unmatched_labels = unmatched_;
   s.metric_samples = samples_;
+  s.next_id = next_id_;
+  s.last_detector_state = last_state_;
   s.drift_log = acc_.drift_events;
   s.class_counts = acc_.class_counts;
   s.window.assign(metrics_.entries().begin(), metrics_.entries().end());
+  s.pending_predictions.reserve(pending_.size());
+  for (const PendingPrediction& p : pending_) {
+    s.pending_predictions.push_back(
+        EngineSnapshot::PendingEntry{p.id, p.instance, p.predicted, p.scores});
+  }
+  s.sum_pmauc = sum_pmauc_;
+  s.sum_pmgm = sum_pmgm_;
+  s.sum_accuracy = sum_acc_;
+  s.sum_kappa = sum_kappa_;
+  s.pmauc_series = acc_.pmauc_series;
+  s.detector_seconds = acc_.detector_seconds;
+  s.classifier_seconds = acc_.classifier_seconds;
   return s;
+}
+
+void MonitorEngine::Restore(const EngineSnapshot& s) {
+  if (static_cast<int>(s.window.size()) > config_.metric_window) {
+    throw std::invalid_argument(
+        "MonitorEngine::Restore: snapshot window holds " +
+        std::to_string(s.window.size()) + " entries, metric_window is " +
+        std::to_string(config_.metric_window));
+  }
+  const size_t expected_classes =
+      schema_.num_classes > 0 ? static_cast<size_t>(schema_.num_classes) : 0;
+  if (s.class_counts.size() != expected_classes) {
+    throw std::invalid_argument(
+        "MonitorEngine::Restore: snapshot carries " +
+        std::to_string(s.class_counts.size()) +
+        " class counts, schema declares " + std::to_string(expected_classes) +
+        " classes");
+  }
+  if (s.pending_predictions.size() > capacity_) {
+    throw std::invalid_argument(
+        "MonitorEngine::Restore: snapshot carries " +
+        std::to_string(s.pending_predictions.size()) +
+        " pending predictions, this engine's capacity is " +
+        std::to_string(capacity_));
+  }
+  uint64_t prev_id = 0;
+  for (const EngineSnapshot::PendingEntry& p : s.pending_predictions) {
+    if (p.id <= prev_id || p.id >= s.next_id) {
+      throw std::invalid_argument(
+          "MonitorEngine::Restore: pending prediction ids must be strictly "
+          "ascending and below next_id");
+    }
+    prev_id = p.id;
+  }
+
+  completed_ = s.position;
+  evicted_ = s.evicted;
+  unmatched_ = s.unmatched_labels;
+  samples_ = s.metric_samples;
+  next_id_ = s.next_id;
+  last_state_ = s.last_detector_state;
+  paused_ = false;
+
+  // Rebuild the metric window by replaying the snapshotted entries: the
+  // confusion counts are unit-weight integers, so a fresh sum over the
+  // window contents is bit-identical to the original's add/evict history.
+  metrics_ = WindowedMetrics(schema_.num_classes, config_.metric_window);
+  for (const WindowedMetrics::Entry& e : s.window) {
+    metrics_.Add(e.truth, e.predicted, e.scores);
+  }
+
+  pending_.clear();
+  for (const EngineSnapshot::PendingEntry& p : s.pending_predictions) {
+    pending_.push_back(PendingPrediction{p.id, p.instance, p.predicted,
+                                         p.scores});
+  }
+
+  acc_ = PrequentialResult{};
+  acc_.instances = s.position;
+  acc_.drifts = s.drift_log.size();
+  acc_.drift_events = s.drift_log;
+  acc_.drift_positions.reserve(s.drift_log.size());
+  for (const DriftAlarm& a : s.drift_log) {
+    acc_.drift_positions.push_back(a.position);
+  }
+  acc_.class_counts = s.class_counts;
+  acc_.pmauc_series = s.pmauc_series;
+  acc_.detector_seconds = s.detector_seconds;
+  acc_.classifier_seconds = s.classifier_seconds;
+  sum_pmauc_ = s.sum_pmauc;
+  sum_pmgm_ = s.sum_pmgm;
+  sum_acc_ = s.sum_accuracy;
+  sum_kappa_ = s.sum_kappa;
 }
 
 PrequentialResult MonitorEngine::Result() const {

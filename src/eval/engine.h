@@ -42,20 +42,48 @@ struct EngineHooks {
   std::function<void(const MetricsSnapshot&)> on_metrics;
 };
 
-/// Copyable run state of a MonitorEngine at a point in time: everything a
-/// future intra-stream shard needs to resume evaluation mid-stream
-/// (prefix-state handoff), and everything an operator needs to inspect a
-/// live monitor.
+/// Copyable run state of a MonitorEngine at a point in time: everything an
+/// intra-stream shard needs to resume evaluation mid-stream (prefix-state
+/// handoff, see eval/sharded.h), and everything an operator needs to
+/// inspect a live monitor. Together with clones of the classifier and
+/// detector (CloneState()) this is the *complete* engine state:
+/// MonitorEngine::Restore() rebuilds an engine whose subsequent behavior —
+/// and whose own Snapshot() — is bit-identical to the original's.
 struct EngineSnapshot {
+  /// One parked serving-path prediction, so a restored engine can still
+  /// accept the late Label() calls of its predecessor.
+  struct PendingEntry {
+    uint64_t id = 0;
+    Instance instance;  ///< Features + weight; label still unknown.
+    int predicted = 0;
+    std::vector<double> scores;
+  };
+
   uint64_t position = 0;           ///< Completed (labelled) instances.
   uint64_t pending = 0;            ///< Predictions still awaiting a label.
   uint64_t evicted = 0;            ///< Predictions whose label never came.
   uint64_t unmatched_labels = 0;   ///< Label() calls with no pending match.
   uint64_t metric_samples = 0;     ///< Periodic samples taken so far.
+  uint64_t next_id = 1;            ///< Next Predict() ticket id.
+  /// Detector state after the most recent measured step — the warning-zone
+  /// latch. Without it a restored engine would re-fire on_warning on the
+  /// first instance of a warning region the original had already entered.
+  DetectorState last_detector_state = DetectorState::kStable;
   std::vector<DriftAlarm> drift_log;
   std::vector<uint64_t> class_counts;
   /// Contents of the sliding metric window, oldest first.
   std::vector<WindowedMetrics::Entry> window;
+  /// Contents of the pending buffer, ascending by id.
+  std::vector<PendingEntry> pending_predictions;
+  /// Accumulated periodic metric samples (the running means of Result()).
+  double sum_pmauc = 0.0;
+  double sum_pmgm = 0.0;
+  double sum_accuracy = 0.0;
+  double sum_kappa = 0.0;
+  std::vector<std::pair<uint64_t, double>> pmauc_series;
+  /// Accumulated wall time (only meaningful with config.timing).
+  double detector_seconds = 0.0;
+  double classifier_seconds = 0.0;
 };
 
 /// Outcome of MonitorEngine::Label().
@@ -146,8 +174,18 @@ class MonitorEngine {
   const StreamSchema& schema() const { return schema_; }
   const PrequentialConfig& config() const { return config_; }
 
-  /// Copyable run state for inspection and future shard handoff.
+  /// Copyable run state for inspection and shard handoff.
   EngineSnapshot Snapshot() const;
+
+  /// Replaces this engine's run state with `snapshot`, so that continuing
+  /// from here is bit-identical to continuing the engine that produced it —
+  /// provided classifier and detector were restored to the same point
+  /// (CloneState() at Snapshot() time). Validates internal consistency
+  /// (window within the configured metric window, class counts matching
+  /// the schema, pending ids ascending and below next_id, pending count
+  /// within this engine's capacity) and throws std::invalid_argument on
+  /// violations. Clears any paused state.
+  void Restore(const EngineSnapshot& snapshot);
 
   /// Aggregate result over everything completed so far. Callable at any
   /// time; the engine keeps accepting events afterwards.

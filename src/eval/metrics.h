@@ -44,6 +44,12 @@ class WindowedMetrics {
     int truth;
     int predicted;
     std::vector<double> scores;
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.truth == b.truth && a.predicted == b.predicted &&
+             a.scores == b.scores;
+    }
+    friend bool operator!=(const Entry& a, const Entry& b) { return !(a == b); }
   };
 
   /// Window contents, oldest first. Together with the schema this is the

@@ -1,0 +1,222 @@
+#include "eval/sharded.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "stream/stream.h"
+
+namespace ccd {
+
+EngineState CaptureEngineState(const MonitorEngine& engine,
+                               const OnlineClassifier& classifier,
+                               const DriftDetector* detector) {
+  EngineState state;
+  state.snapshot = engine.Snapshot();
+  state.classifier = classifier.CloneState();
+  if (detector != nullptr) state.detector = detector->CloneState();
+  return state;
+}
+
+MonitorEngine RestoreEngineState(const StreamSchema& schema,
+                                 const PrequentialConfig& config,
+                                 EngineState& state, EngineHooks hooks) {
+  MonitorEngine engine(schema, state.classifier.get(), state.detector.get(),
+                       config, std::move(hooks));
+  engine.Restore(state.snapshot);
+  return engine;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ShardBlocks(uint64_t instances,
+                                                       int shards) {
+  uint64_t k = shards < 1 ? 1 : static_cast<uint64_t>(shards);
+  if (k > instances) k = instances == 0 ? 1 : instances;
+  const uint64_t base = instances / k;
+  const uint64_t rem = instances % k;
+  std::vector<std::pair<uint64_t, uint64_t>> blocks;
+  blocks.reserve(static_cast<size_t>(k));
+  uint64_t begin = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t size = base + (i < rem ? 1 : 0);
+    blocks.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return blocks;
+}
+
+namespace {
+
+/// Coordinator of one sharded run: two task chains on the pool, linked by
+/// handoff state.
+///
+///   MAT(k):  drain block k's instances from the stream into a slot
+///            (sequential — streams are cursors; at most one in flight).
+///   EVAL(k): run block k through an engine seeded with block k-1's
+///            EngineState, then capture the state for block k+1
+///            (sequential-handoff — at most one in flight).
+///
+/// MAT runs at most kLookahead blocks ahead of EVAL, bounding resident
+/// instances to ~lookahead blocks; evaluated blocks are freed eagerly.
+/// The two chains overlap (generation of block k+1 proceeds while block k
+/// evaluates), and several ShardedRuns sharing one pool interleave their
+/// tasks. Tasks never throw into the pool: the first failure aborts the
+/// schedule and rethrows from Run().
+class ShardedRun {
+ public:
+  ShardedRun(InstanceStream* stream, OnlineClassifier* classifier,
+             DriftDetector* detector, const PrequentialConfig& config,
+             runtime::ThreadPool* pool)
+      : stream_(stream),
+        classifier_(classifier),
+        detector_(detector),
+        config_(config),
+        pool_(pool),
+        blocks_(ShardBlocks(config.max_instances, config.shards)),
+        slots_(blocks_.size()) {}
+
+  PrequentialResult Run() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      MaybeSubmitLocked();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] {
+      return !mat_in_flight_ && !eval_in_flight_ &&
+             (aborted_ || eval_done_ == blocks_.size());
+    });
+    if (error_) std::rethrow_exception(error_);
+    return std::move(result_);
+  }
+
+ private:
+  static constexpr size_t kLookahead = 2;
+
+  /// Submits every task whose dependencies are met. Invariants: one MAT
+  /// and one EVAL in flight at most; MAT(k) needs MAT(k-1) done and
+  /// k < eval_done + lookahead; EVAL(k) needs MAT(k) and EVAL(k-1) done.
+  void MaybeSubmitLocked() {
+    if (aborted_) return;
+    if (!mat_in_flight_ && mat_done_ < blocks_.size() &&
+        mat_done_ < eval_done_ + kLookahead) {
+      mat_in_flight_ = true;
+      const size_t k = mat_done_;
+      pool_->Submit([this, k] { MatTask(k); });
+    }
+    if (!eval_in_flight_ && eval_done_ < mat_done_) {
+      eval_in_flight_ = true;
+      const size_t k = eval_done_;
+      pool_->Submit([this, k] { EvalTask(k); });
+    }
+  }
+
+  void MatTask(size_t k) {
+    try {
+      const uint64_t size = blocks_[k].second - blocks_[k].first;
+      std::vector<Instance> block = Take(stream_, static_cast<size_t>(size));
+      std::lock_guard<std::mutex> lock(mutex_);
+      slots_[k] = std::move(block);
+      mat_in_flight_ = false;
+      ++mat_done_;
+      MaybeSubmitLocked();
+      done_.notify_all();
+    } catch (...) {
+      Fail(/*was_mat=*/true);
+    }
+  }
+
+  void EvalTask(size_t k) {
+    try {
+      EngineState prev;
+      std::vector<Instance> block;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        prev = std::move(handoff_);
+        block = std::move(slots_[k]);
+        slots_[k].clear();
+        slots_[k].shrink_to_fit();
+      }
+      // Block 0 evaluates on the caller's components; later blocks on the
+      // clones handed off by their predecessor. `prev` owns those clones
+      // and must stay alive for the whole block.
+      OnlineClassifier* classifier =
+          k == 0 ? classifier_ : prev.classifier.get();
+      DriftDetector* detector = k == 0 ? detector_ : prev.detector.get();
+      MonitorEngine engine(stream_->schema(), classifier, detector, config_);
+      if (k > 0) engine.Restore(prev.snapshot);
+      for (const Instance& instance : block) engine.Feed(instance);
+
+      EngineState next;
+      PrequentialResult result;
+      const bool last = k + 1 == blocks_.size();
+      if (last) {
+        result = engine.Result();
+      } else {
+        next = CaptureEngineState(engine, *classifier, detector);
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (last) {
+        result_ = std::move(result);
+      } else {
+        handoff_ = std::move(next);
+      }
+      eval_in_flight_ = false;
+      ++eval_done_;
+      MaybeSubmitLocked();
+      done_.notify_all();
+    } catch (...) {
+      Fail(/*was_mat=*/false);
+    }
+  }
+
+  void Fail(bool was_mat) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+    aborted_ = true;
+    if (was_mat) {
+      mat_in_flight_ = false;
+    } else {
+      eval_in_flight_ = false;
+    }
+    done_.notify_all();
+  }
+
+  InstanceStream* stream_;
+  OnlineClassifier* classifier_;
+  DriftDetector* detector_;
+  PrequentialConfig config_;
+  runtime::ThreadPool* pool_;
+  const std::vector<std::pair<uint64_t, uint64_t>> blocks_;
+
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::vector<std::vector<Instance>> slots_;  ///< Materialized blocks.
+  EngineState handoff_;       ///< State between EVAL(k) and EVAL(k+1).
+  PrequentialResult result_;  ///< Written by the last EVAL.
+  size_t mat_done_ = 0;
+  size_t eval_done_ = 0;
+  bool mat_in_flight_ = false;
+  bool eval_in_flight_ = false;
+  bool aborted_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+PrequentialResult RunShardedPrequential(InstanceStream* stream,
+                                        OnlineClassifier* classifier,
+                                        DriftDetector* detector,
+                                        const PrequentialConfig& config,
+                                        runtime::ThreadPool* pool) {
+  ValidatePrequentialConfig(config);
+  if (pool == nullptr) {
+    // One materializer + one evaluator is all the intra-run parallelism
+    // a single sharded run can use.
+    runtime::ThreadPool local(2);
+    ShardedRun run(stream, classifier, detector, config, &local);
+    return run.Run();
+  }
+  ShardedRun run(stream, classifier, detector, config, pool);
+  return run.Run();
+}
+
+}  // namespace ccd

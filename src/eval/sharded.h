@@ -1,0 +1,83 @@
+#ifndef CCD_EVAL_SHARDED_H_
+#define CCD_EVAL_SHARDED_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "eval/engine.h"
+#include "eval/prequential.h"
+#include "runtime/thread_pool.h"
+
+namespace ccd {
+
+/// The complete evaluation state at a shard boundary: the engine's run
+/// state (counters, drift log, metric window, pending predictions) plus
+/// deep clones of the learned components. Handing an EngineState to a
+/// fresh MonitorEngine (RestoreEngineState) resumes evaluation exactly
+/// where it stopped — the payload of the intra-stream handoff, and the
+/// unit the future "one engine per shard, router above" serving design
+/// will ship between workers.
+struct EngineState {
+  EngineSnapshot snapshot;
+  std::unique_ptr<OnlineClassifier> classifier;
+  std::unique_ptr<DriftDetector> detector;  ///< Null when no detector runs.
+};
+
+/// Captures `engine`'s full state: its Snapshot() plus CloneState() copies
+/// of the components it runs on. `detector` may be null. Throws
+/// std::logic_error when a component does not implement CloneState().
+EngineState CaptureEngineState(const MonitorEngine& engine,
+                               const OnlineClassifier& classifier,
+                               const DriftDetector* detector);
+
+/// Builds a fresh engine on the state's own component clones and restores
+/// the snapshot into it. The returned engine references
+/// `state.classifier`/`state.detector`, so `state` must outlive it.
+MonitorEngine RestoreEngineState(const StreamSchema& schema,
+                                 const PrequentialConfig& config,
+                                 EngineState& state,
+                                 EngineHooks hooks = {});
+
+/// [begin, end) instance ranges of the handoff blocks: `shards` blocks
+/// whose sizes differ by at most one (earlier blocks absorb the remainder
+/// of a non-divisible split). `shards` is clamped to [1, instances] (one
+/// block of zero instances when the stream is empty).
+std::vector<std::pair<uint64_t, uint64_t>> ShardBlocks(uint64_t instances,
+                                                       int shards);
+
+/// Intra-stream sharded prequential evaluation: the stream's
+/// `config.max_instances` instances are split into `config.shards`
+/// sequential-handoff blocks; block k+1 runs on a thread-pool worker
+/// seeded with block k's EngineState, while the (inherently sequential)
+/// stream generator materializes blocks ahead of the evaluator on another
+/// worker. Generation therefore overlaps evaluation within one run, and
+/// several concurrent runs (e.g. api::Suite grid cells) interleave their
+/// blocks — long streams pipeline instead of serializing.
+///
+/// Bit-identical to RunPrequential by construction: the stream is drained
+/// in order, and every handoff transfers the complete engine state
+/// (classifier, detector — with its embedded normalizer, when it has one —
+/// metric windows, drift log, counters, warning latch). tests/
+/// sharded_test.cc proves the equivalence differentially over a
+/// (shards × generator × detector) grid. Only the wall-clock
+/// `*_seconds` fields differ run to run, exactly as they do sequentially.
+///
+/// `pool` runs the block tasks; nullptr creates a private two-worker pool
+/// (one materializer + one evaluator is the maximum intra-run
+/// parallelism). A shared pool must not be the one the calling thread is
+/// itself a worker of. Unlike RunPrequential, the caller's classifier and
+/// detector only ever see block 0 — later blocks train handoff clones.
+///
+/// Requires every component to implement CloneState() when
+/// config.shards > 1 (std::logic_error otherwise, naming the component).
+PrequentialResult RunShardedPrequential(InstanceStream* stream,
+                                        OnlineClassifier* classifier,
+                                        DriftDetector* detector,
+                                        const PrequentialConfig& config,
+                                        runtime::ThreadPool* pool = nullptr);
+
+}  // namespace ccd
+
+#endif  // CCD_EVAL_SHARDED_H_

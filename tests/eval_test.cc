@@ -13,6 +13,7 @@
 #include "eval/self_tuning.h"
 #include "generators/drifting_stream.h"
 #include "generators/rbf.h"
+#include "testing_util.h"
 #include "utils/rng.h"
 
 namespace ccd {
@@ -165,68 +166,13 @@ TEST(WindowedMetricsTest, PmAucSkipsAbsentClassPairs) {
 }
 
 // --------------------------------------------------------------- prequential
+using test_util::CountingStubClassifier;
+using test_util::ScorelessClassifier;
+
 std::unique_ptr<DriftingClassStream> MakeDriftStream(uint64_t drift_at,
                                                      uint64_t seed) {
-  RbfConcept::Options co;
-  co.num_features = 6;
-  co.num_classes = 3;
-  std::vector<std::unique_ptr<Concept>> cs;
-  cs.push_back(std::make_unique<RbfConcept>(co, 1));
-  cs.push_back(std::make_unique<RbfConcept>(co, 2));
-  DriftEvent ev;
-  ev.start = drift_at;
-  ev.type = DriftType::kSudden;
-  ImbalanceSchedule::Options io;
-  io.num_classes = 3;
-  io.base_ir = 10.0;
-  return std::make_unique<DriftingClassStream>(
-      std::move(cs), std::vector<DriftEvent>{ev}, ImbalanceSchedule(io), seed);
+  return test_util::MakeRbfDriftStream(drift_at, seed);
 }
-
-/// Minimal classifier stub: uniform scores, counts Reset() calls so tests
-/// can observe whether a drift signal reached the coupling.
-class CountingStubClassifier : public OnlineClassifier {
- public:
-  explicit CountingStubClassifier(const StreamSchema& schema)
-      : schema_(schema) {}
-  const StreamSchema& schema() const override { return schema_; }
-  void Train(const Instance&) override {}
-  std::vector<double> PredictScores(const Instance&) const override {
-    return std::vector<double>(static_cast<size_t>(schema_.num_classes),
-                               1.0 / schema_.num_classes);
-  }
-  void Reset() override { ++resets; }
-  std::unique_ptr<OnlineClassifier> Clone() const override {
-    return std::make_unique<CountingStubClassifier>(schema_);
-  }
-  std::string name() const override { return "counting-stub"; }
-
-  int resets = 0;
-
- private:
-  StreamSchema schema_;
-};
-
-/// Classifier that returns no scores at all — the degenerate case the
-/// argmax and metrics paths must survive (missing support == 0).
-class ScorelessClassifier : public OnlineClassifier {
- public:
-  explicit ScorelessClassifier(const StreamSchema& schema)
-      : schema_(schema) {}
-  const StreamSchema& schema() const override { return schema_; }
-  void Train(const Instance&) override {}
-  std::vector<double> PredictScores(const Instance&) const override {
-    return {};
-  }
-  void Reset() override {}
-  std::unique_ptr<OnlineClassifier> Clone() const override {
-    return std::make_unique<ScorelessClassifier>(schema_);
-  }
-  std::string name() const override { return "scoreless"; }
-
- private:
-  StreamSchema schema_;
-};
 
 /// Scripted detector that fires at a fixed Observe() count and *latches*:
 /// the drift flag stays raised until the harness reads state(). Models

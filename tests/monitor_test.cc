@@ -25,60 +25,15 @@
 #include "eval/prequential.h"
 #include "generators/registry.h"
 #include "stream/stream.h"
+#include "testing_util.h"
 
 namespace ccd {
 namespace {
 
-PrequentialConfig ShortConfig() {
-  PrequentialConfig cfg;
-  cfg.max_instances = 2000;
-  cfg.metric_window = 400;
-  cfg.eval_interval = 100;
-  cfg.warmup = 150;
-  cfg.timing = false;  // Wall-clock fields are inherently nondeterministic.
-  return cfg;
-}
-
-void ExpectBitIdentical(const PrequentialResult& a,
-                        const PrequentialResult& b) {
-  EXPECT_EQ(a.instances, b.instances);
-  EXPECT_EQ(a.mean_pmauc, b.mean_pmauc);
-  EXPECT_EQ(a.mean_pmgm, b.mean_pmgm);
-  EXPECT_EQ(a.mean_accuracy, b.mean_accuracy);
-  EXPECT_EQ(a.mean_kappa, b.mean_kappa);
-  EXPECT_EQ(a.drifts, b.drifts);
-  EXPECT_EQ(a.drift_positions, b.drift_positions);
-  EXPECT_EQ(a.drift_events, b.drift_events);
-  EXPECT_EQ(a.pmauc_series, b.pmauc_series);
-  EXPECT_EQ(a.class_counts, b.class_counts);
-}
-
-/// Stateless classifier: scores depend only on the instance (first feature
-/// modulo the class count gets the mass), Train is a no-op. Under it, a
-/// prediction made early is identical to one made late, so any label delay
-/// must leave the detector path untouched.
-class FrozenClassifier : public OnlineClassifier {
- public:
-  explicit FrozenClassifier(const StreamSchema& schema) : schema_(schema) {}
-  const StreamSchema& schema() const override { return schema_; }
-  void Train(const Instance&) override {}
-  std::vector<double> PredictScores(const Instance& instance) const override {
-    const size_t k = static_cast<size_t>(schema_.num_classes);
-    std::vector<double> scores(k, 0.1 / static_cast<double>(k));
-    double f = instance.features.empty() ? 0.0 : instance.features[0];
-    size_t hot = static_cast<size_t>(std::abs(static_cast<long>(f * 7))) % k;
-    scores[hot] += 0.9;
-    return scores;
-  }
-  void Reset() override {}
-  std::unique_ptr<OnlineClassifier> Clone() const override {
-    return std::make_unique<FrozenClassifier>(schema_);
-  }
-  std::string name() const override { return "frozen"; }
-
- private:
-  StreamSchema schema_;
-};
+using test_util::ExpectBitIdentical;
+using test_util::FrozenClassifier;
+using test_util::ShortConfig;
+using test_util::WarningRegionDetector;
 
 /// Scripted detector with drifted-classes payloads, for testing that the
 /// engine surfaces local-drift information instead of dropping it.
@@ -353,26 +308,6 @@ TEST(MonitorEngineTest, DriftEventsCarryDriftedClasses) {
     EXPECT_EQ(metric_events[i].pmauc, r.pmauc_series[i].second);
   }
 }
-
-/// Detector that sits in a persistent warning region — the DDM-family
-/// shape the on_warning hook must not fire per-instance for.
-class WarningRegionDetector : public DriftDetector {
- public:
-  void Observe(const Instance&, int, const std::vector<double>&) override {
-    ++observed_;
-  }
-  DetectorState state() const override {
-    // Two warning regions: [300, 400) and [600, 650).
-    const bool warn = (observed_ >= 300 && observed_ < 400) ||
-                      (observed_ >= 600 && observed_ < 650);
-    return warn ? DetectorState::kWarning : DetectorState::kStable;
-  }
-  void Reset() override {}
-  std::string name() const override { return "warning-region"; }
-
- private:
-  uint64_t observed_ = 0;
-};
 
 TEST(MonitorEngineTest, WarningFiresOncePerRegionEntry) {
   StreamSchema schema(3, 4, "synthetic");

@@ -1,0 +1,243 @@
+#ifndef CCD_TESTS_TESTING_UTIL_H_
+#define CCD_TESTS_TESTING_UTIL_H_
+
+// Shared fixtures of the evaluation-layer tests (eval_test, monitor_test,
+// sharded_test): tiny deterministic streams, stub classifiers/detectors
+// with known behavior, and result/snapshot equality helpers. Everything
+// here is deterministic from its seed so tests can assert bit-identity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classifiers/classifier.h"
+#include "detectors/detector.h"
+#include "eval/engine.h"
+#include "eval/prequential.h"
+#include "generators/drifting_stream.h"
+#include "generators/rbf.h"
+#include "generators/sea.h"
+
+namespace ccd {
+namespace test_util {
+
+/// A short, cheap protocol for equivalence tests: small window, frequent
+/// samples, nondeterministic wall-clock timing off.
+inline PrequentialConfig ShortConfig() {
+  PrequentialConfig cfg;
+  cfg.max_instances = 2000;
+  cfg.metric_window = 400;
+  cfg.eval_interval = 100;
+  cfg.warmup = 150;
+  cfg.timing = false;  // Wall-clock fields are inherently nondeterministic.
+  return cfg;
+}
+
+/// Asserts every deterministic field of two PrequentialResults is equal,
+/// bit for bit (the *_seconds wall-clock fields are excluded by design).
+inline void ExpectBitIdentical(const PrequentialResult& a,
+                               const PrequentialResult& b) {
+  EXPECT_EQ(a.instances, b.instances);
+  EXPECT_EQ(a.mean_pmauc, b.mean_pmauc);
+  EXPECT_EQ(a.mean_pmgm, b.mean_pmgm);
+  EXPECT_EQ(a.mean_accuracy, b.mean_accuracy);
+  EXPECT_EQ(a.mean_kappa, b.mean_kappa);
+  EXPECT_EQ(a.drifts, b.drifts);
+  EXPECT_EQ(a.drift_positions, b.drift_positions);
+  EXPECT_EQ(a.drift_events, b.drift_events);
+  EXPECT_EQ(a.pmauc_series, b.pmauc_series);
+  EXPECT_EQ(a.class_counts, b.class_counts);
+}
+
+/// Asserts two Instances are bit-identical.
+inline void ExpectInstanceEq(const Instance& a, const Instance& b) {
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.weight, b.weight);
+}
+
+/// Asserts every field of two EngineSnapshots is equal, bit for bit —
+/// timing fields included, since snapshots of the *same* engine state must
+/// round-trip exactly.
+inline void ExpectSnapshotEq(const EngineSnapshot& a, const EngineSnapshot& b) {
+  EXPECT_EQ(a.position, b.position);
+  EXPECT_EQ(a.pending, b.pending);
+  EXPECT_EQ(a.evicted, b.evicted);
+  EXPECT_EQ(a.unmatched_labels, b.unmatched_labels);
+  EXPECT_EQ(a.metric_samples, b.metric_samples);
+  EXPECT_EQ(a.next_id, b.next_id);
+  EXPECT_EQ(a.last_detector_state, b.last_detector_state);
+  EXPECT_EQ(a.drift_log, b.drift_log);
+  EXPECT_EQ(a.class_counts, b.class_counts);
+  EXPECT_EQ(a.window, b.window);
+  ASSERT_EQ(a.pending_predictions.size(), b.pending_predictions.size());
+  for (size_t i = 0; i < a.pending_predictions.size(); ++i) {
+    EXPECT_EQ(a.pending_predictions[i].id, b.pending_predictions[i].id);
+    EXPECT_EQ(a.pending_predictions[i].predicted,
+              b.pending_predictions[i].predicted);
+    EXPECT_EQ(a.pending_predictions[i].scores, b.pending_predictions[i].scores);
+    ExpectInstanceEq(a.pending_predictions[i].instance,
+                     b.pending_predictions[i].instance);
+  }
+  EXPECT_EQ(a.sum_pmauc, b.sum_pmauc);
+  EXPECT_EQ(a.sum_pmgm, b.sum_pmgm);
+  EXPECT_EQ(a.sum_accuracy, b.sum_accuracy);
+  EXPECT_EQ(a.sum_kappa, b.sum_kappa);
+  EXPECT_EQ(a.pmauc_series, b.pmauc_series);
+  EXPECT_EQ(a.detector_seconds, b.detector_seconds);
+  EXPECT_EQ(a.classifier_seconds, b.classifier_seconds);
+}
+
+/// Stateless classifier: scores depend only on the instance (first feature
+/// modulo the class count gets the mass), Train is a no-op. Under it, a
+/// prediction made early is identical to one made late, so any label delay
+/// must leave the detector path untouched.
+class FrozenClassifier : public OnlineClassifier {
+ public:
+  explicit FrozenClassifier(const StreamSchema& schema) : schema_(schema) {}
+  const StreamSchema& schema() const override { return schema_; }
+  void Train(const Instance&) override {}
+  std::vector<double> PredictScores(const Instance& instance) const override {
+    const size_t k = static_cast<size_t>(schema_.num_classes);
+    std::vector<double> scores(k, 0.1 / static_cast<double>(k));
+    double f = instance.features.empty() ? 0.0 : instance.features[0];
+    size_t hot = static_cast<size_t>(std::abs(static_cast<long>(f * 7))) % k;
+    scores[hot] += 0.9;
+    return scores;
+  }
+  void Reset() override {}
+  std::unique_ptr<OnlineClassifier> Clone() const override {
+    return std::make_unique<FrozenClassifier>(schema_);
+  }
+  std::unique_ptr<OnlineClassifier> CloneState() const override {
+    return Clone();  // Stateless: a fresh copy *is* the state.
+  }
+  std::string name() const override { return "frozen"; }
+
+ private:
+  StreamSchema schema_;
+};
+
+/// Minimal classifier stub: uniform scores, counts Reset() calls so tests
+/// can observe whether a drift signal reached the coupling.
+class CountingStubClassifier : public OnlineClassifier {
+ public:
+  explicit CountingStubClassifier(const StreamSchema& schema)
+      : schema_(schema) {}
+  const StreamSchema& schema() const override { return schema_; }
+  void Train(const Instance&) override {}
+  std::vector<double> PredictScores(const Instance&) const override {
+    return std::vector<double>(static_cast<size_t>(schema_.num_classes),
+                               1.0 / schema_.num_classes);
+  }
+  void Reset() override { ++resets; }
+  std::unique_ptr<OnlineClassifier> Clone() const override {
+    return std::make_unique<CountingStubClassifier>(schema_);
+  }
+  std::string name() const override { return "counting-stub"; }
+
+  int resets = 0;
+
+ private:
+  StreamSchema schema_;
+};
+
+/// Classifier that returns no scores at all — the degenerate case the
+/// argmax and metrics paths must survive (missing support == 0).
+class ScorelessClassifier : public OnlineClassifier {
+ public:
+  explicit ScorelessClassifier(const StreamSchema& schema)
+      : schema_(schema) {}
+  const StreamSchema& schema() const override { return schema_; }
+  void Train(const Instance&) override {}
+  std::vector<double> PredictScores(const Instance&) const override {
+    return {};
+  }
+  void Reset() override {}
+  std::unique_ptr<OnlineClassifier> Clone() const override {
+    return std::make_unique<ScorelessClassifier>(schema_);
+  }
+  std::string name() const override { return "scoreless"; }
+
+ private:
+  StreamSchema schema_;
+};
+
+/// Detector that sits in persistent warning regions — the DDM-family shape
+/// the engine's warning-zone latch exists for (on_warning must fire on
+/// region *entry*, not per instance, and a snapshot/restore inside a
+/// region must not re-fire it).
+class WarningRegionDetector : public DriftDetector {
+ public:
+  void Observe(const Instance&, int, const std::vector<double>&) override {
+    ++observed_;
+  }
+  DetectorState state() const override {
+    // Two warning regions: [300, 400) and [600, 650).
+    const bool warn = (observed_ >= 300 && observed_ < 400) ||
+                      (observed_ >= 600 && observed_ < 650);
+    return warn ? DetectorState::kWarning : DetectorState::kStable;
+  }
+  void Reset() override {}
+  std::unique_ptr<DriftDetector> CloneState() const override {
+    return std::make_unique<WarningRegionDetector>(*this);
+  }
+  std::string name() const override { return "warning-region"; }
+
+ private:
+  uint64_t observed_ = 0;
+};
+
+/// Tiny deterministic drifting stream: two RBF concepts with a sudden
+/// switch at `drift_at` and a 10:1 class imbalance (3 classes, 6
+/// features). The workhorse stream of the evaluation tests.
+inline std::unique_ptr<DriftingClassStream> MakeRbfDriftStream(
+    uint64_t drift_at, uint64_t seed) {
+  RbfConcept::Options co;
+  co.num_features = 6;
+  co.num_classes = 3;
+  std::vector<std::unique_ptr<Concept>> cs;
+  cs.push_back(std::make_unique<RbfConcept>(co, 1));
+  cs.push_back(std::make_unique<RbfConcept>(co, 2));
+  DriftEvent ev;
+  ev.start = drift_at;
+  ev.type = DriftType::kSudden;
+  ImbalanceSchedule::Options io;
+  io.num_classes = 3;
+  io.base_ir = 10.0;
+  return std::make_unique<DriftingClassStream>(
+      std::move(cs), std::vector<DriftEvent>{ev}, ImbalanceSchedule(io), seed);
+}
+
+/// SEA companion of MakeRbfDriftStream: two SEA concept variants (the
+/// relevant feature pair rotates at the drift), 4 features, 3 classes,
+/// 5:1 imbalance — a structurally different generator for differential
+/// grids.
+inline std::unique_ptr<DriftingClassStream> MakeSeaDriftStream(
+    uint64_t drift_at, uint64_t seed) {
+  SeaConcept::Options so;
+  so.num_features = 4;
+  so.num_classes = 3;
+  std::vector<std::unique_ptr<Concept>> cs;
+  so.variant = 0;
+  cs.push_back(std::make_unique<SeaConcept>(so, 1));
+  so.variant = 1;
+  cs.push_back(std::make_unique<SeaConcept>(so, 2));
+  DriftEvent ev;
+  ev.start = drift_at;
+  ev.type = DriftType::kSudden;
+  ImbalanceSchedule::Options io;
+  io.num_classes = 3;
+  io.base_ir = 5.0;
+  return std::make_unique<DriftingClassStream>(
+      std::move(cs), std::vector<DriftEvent>{ev}, ImbalanceSchedule(io), seed);
+}
+
+}  // namespace test_util
+}  // namespace ccd
+
+#endif  // CCD_TESTS_TESTING_UTIL_H_
