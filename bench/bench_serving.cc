@@ -1,0 +1,167 @@
+// Serving-layer throughput: how many pushes per second an
+// api::ShardedMonitor sustains as producer threads and router shards
+// scale. This is the bench behind the concurrent-serving claim — one
+// api::Monitor serializes every push through a single engine lock, while
+// a ShardedMonitor with K shards lets pushes to different shards proceed
+// in parallel, so throughput should grow with K until the machine (or the
+// shard count) saturates.
+//
+// Usage:
+//   bench_serving [--threads 8] [--instances 200000] [--seed 42]
+//                 [--mode hash|rr] [--classifier cs-ptree]
+//                 [--detector DDM | --detector none]
+//                 [--router-shards 8 | --sweep 1,2,4,8] [--csv out.csv]
+//
+// With --router-shards K a single configuration runs; the default sweeps
+// K over {1, 2, 4, 8} at the given thread count so the scaling curve
+// (and the K=1 serialized baseline) prints in one table. The stream is
+// materialized up front and every configuration pushes the *same*
+// instances, so rows differ only in routing.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/thread_pool.h"
+#include "utils/cli.h"
+#include "utils/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t drifts = 0;
+};
+
+/// One measured configuration: `threads` producers push the materialized
+/// stream (striped by index) through a fresh K-shard monitor.
+RunResult RunOnce(const ccd::StreamSchema& schema,
+                  const std::vector<ccd::Instance>& data, int threads,
+                  int shards, ccd::runtime::RoutingMode mode,
+                  const std::string& classifier, const std::string& detector,
+                  uint64_t seed) {
+  ccd::api::ShardedMonitorBuilder builder;
+  builder.Schema(schema)
+      .Classifier(classifier)
+      .Seed(seed)
+      .Shards(shards)
+      .Mode(mode);
+  if (!detector.empty()) builder.Detector(detector);
+  auto monitor = builder.Build();
+
+  // Barrier-started producers (runtime::RunThreads): the measured window
+  // contains contention, not thread spawn skew, and a producer throw
+  // surfaces as the bench's clean error exit.
+  const auto t0 = Clock::now();
+  ccd::runtime::RunThreads(threads, [&](int t) {
+    // Stride striping: thread t pushes instances t, t+N, t+2N, ... so
+    // every thread's keys spread over all shards and contend realistically.
+    for (size_t i = static_cast<size_t>(t); i < data.size();
+         i += static_cast<size_t>(threads)) {
+      if (mode == ccd::runtime::RoutingMode::kHashKey) {
+        monitor.Feed(static_cast<uint64_t>(i), data[i]);
+      } else {
+        monitor.Feed(data[i]);
+      }
+    }
+  });
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.drifts = monitor.Result().drifts;
+  if (monitor.position() != data.size()) {
+    throw std::logic_error("bench_serving: lost pushes — " +
+                           std::to_string(monitor.position()) + " of " +
+                           std::to_string(data.size()) + " accounted");
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  ccd::Cli cli(argc, argv);
+  const int threads = cli.GetInt("threads", 8);
+  const uint64_t instances =
+      static_cast<uint64_t>(cli.GetInt("instances", 200000));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  const std::string mode_name = cli.GetString("mode", "hash");
+  // The paper's base classifier by default: its per-push cost is realistic
+  // for a served model, which is exactly when shard-lock contention at
+  // K=1 hurts and the scaling curve is informative.
+  std::string classifier = cli.GetString("classifier", "cs-ptree");
+  std::string detector = cli.GetString("detector", "DDM");
+  if (detector == "none") detector.clear();
+
+  ccd::api::Classifiers().Require(classifier);
+  if (!detector.empty()) ccd::api::Detectors().Require(detector);
+  ccd::runtime::RoutingMode mode;
+  if (mode_name == "hash") {
+    mode = ccd::runtime::RoutingMode::kHashKey;
+  } else if (mode_name == "rr") {
+    mode = ccd::runtime::RoutingMode::kRoundRobin;
+  } else {
+    throw ccd::api::ApiError("unknown --mode '" + mode_name +
+                             "'; expected hash or rr");
+  }
+  std::vector<int> shard_counts;
+  if (cli.Has("router-shards")) {
+    shard_counts.push_back(cli.GetInt("router-shards", 8));
+  } else {
+    for (const std::string& s : ccd::bench::SplitCsv(
+             cli.GetString("sweep", "1,2,4,8"))) {
+      shard_counts.push_back(std::stoi(s));
+    }
+  }
+
+  // One materialized stream for every row: rows differ only in routing.
+  std::unique_ptr<ccd::InstanceStream> stream = [&] {
+    ccd::BuildOptions options;
+    options.scale = 1.0;  // max_instances bounds us, not the spec scale.
+    options.seed = seed;
+    return std::move(
+        ccd::BuildStream(*ccd::FindStreamSpec("RBF5"), options).stream);
+  }();
+  const std::vector<ccd::Instance> data =
+      ccd::Take(stream.get(), static_cast<size_t>(instances));
+
+  std::printf(
+      "Serving push throughput - %llu instances, %d producer threads, "
+      "%s routing, classifier=%s, detector=%s\n\n",
+      static_cast<unsigned long long>(data.size()), threads,
+      mode_name.c_str(), classifier.c_str(),
+      detector.empty() ? "none" : detector.c_str());
+
+  ccd::Table table;
+  table.SetHeader({"Shards", "Threads", "Seconds", "Kpush/s", "Speedup",
+                   "Drifts"});
+  double baseline_rate = 0.0;
+  for (int shards : shard_counts) {
+    const RunResult run = RunOnce(stream->schema(), data, threads, shards,
+                                  mode, classifier, detector, seed);
+    const double rate =
+        static_cast<double>(data.size()) / (run.seconds > 0 ? run.seconds : 1);
+    if (baseline_rate == 0.0) baseline_rate = rate;
+    table.AddRow({std::to_string(shards), std::to_string(threads),
+                  ccd::Table::Num(run.seconds, 3),
+                  ccd::Table::Num(rate / 1000.0, 1),
+                  ccd::Table::Num(rate / baseline_rate, 2) + "x",
+                  std::to_string(run.drifts)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+
+  const std::string csv = cli.GetString("csv", "");
+  if (!csv.empty() && table.WriteCsv(csv)) {
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  return 0;
+} catch (const ccd::api::ApiError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+} catch (const ccd::CliError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
+}

@@ -14,7 +14,11 @@
 ///  * Monitor        — push-based online monitoring surface (decoupled
 ///                     Predict/Label with delayed-label buffering, drift
 ///                     event callbacks, snapshotable run state), built on
-///                     the same engine the offline protocol runs on.
+///                     the same engine the offline protocol runs on,
+///  * ShardedMonitor — concurrent serving router over K per-shard engines
+///                     (hash-key or round-robin routing, striped locks,
+///                     live resharding via EngineState migration,
+///                     shard-tagged drift fan-in).
 ///
 /// Components self-register via CCD_REGISTER_DETECTOR /
 /// CCD_REGISTER_CLASSIFIER; every lookup failure throws api::ApiError with
@@ -24,6 +28,7 @@
 #include "api/experiment.h"
 #include "api/monitor.h"
 #include "api/param_map.h"
+#include "api/sharded_monitor.h"
 #include "api/suite.h"
 
 #endif  // CCD_API_API_H_

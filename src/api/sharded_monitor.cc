@@ -1,0 +1,433 @@
+#include "api/sharded_monitor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "eval/sharded.h"
+
+namespace ccd {
+namespace api {
+
+// --------------------------------------------------------- ShardedMonitor
+
+ShardedMonitor::ShardedMonitor(const StreamSchema& schema,
+                               const PrequentialConfig& config,
+                               std::string classifier_name,
+                               ParamMap classifier_params,
+                               std::string detector_name,
+                               ParamMap detector_params, uint64_t seed,
+                               size_t pending_capacity, int shards,
+                               runtime::RoutingMode mode, uint64_t merge_every,
+                               ShardedHooks hooks)
+    : schema_(schema),
+      config_(config),
+      classifier_name_(std::move(classifier_name)),
+      classifier_params_(std::move(classifier_params)),
+      detector_name_(std::move(detector_name)),
+      detector_params_(std::move(detector_params)),
+      seed_(seed),
+      pending_capacity_(pending_capacity),
+      merge_every_(merge_every),
+      hooks_(std::move(hooks)),
+      router_(shards, mode) {
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(MakeShard(i));
+  }
+}
+
+ShardedMonitor::Shard ShardedMonitor::MakeShard(int shard) const {
+  Shard s;
+  const uint64_t seed = seed_ + static_cast<uint64_t>(shard);
+  s.classifier =
+      Classifiers().Create(classifier_name_, schema_, seed, classifier_params_);
+  if (!detector_name_.empty()) {
+    s.detector =
+        Detectors().Create(detector_name_, schema_, seed, detector_params_);
+  }
+  s.engine = std::make_unique<MonitorEngine>(
+      schema_, s.classifier.get(), s.detector.get(), config_,
+      MakeShardHooks(shard), pending_capacity_);
+  return s;
+}
+
+EngineHooks ShardedMonitor::MakeShardHooks(int shard) const {
+  EngineHooks h;
+  // Only occupied fan-in slots are wired through, so a monitor without
+  // callbacks keeps the engine's no-snapshot fast path.
+  if (hooks_.on_drift) {
+    h.on_drift = [this, shard](const DriftAlarm& a, const MetricsSnapshot& m) {
+      hooks_.on_drift(shard, a, m);
+    };
+  }
+  if (hooks_.on_warning) {
+    h.on_warning = [this, shard](uint64_t position, const MetricsSnapshot& m) {
+      hooks_.on_warning(shard, position, m);
+    };
+  }
+  if (hooks_.on_metrics) {
+    h.on_metrics = [this, shard](const MetricsSnapshot& m) {
+      hooks_.on_metrics(shard, m);
+    };
+  }
+  return h;
+}
+
+void ShardedMonitor::RequireMode(runtime::RoutingMode expected,
+                                 const char* operation,
+                                 const char* alternative) const {
+  if (router_.mode() != expected) {
+    throw std::logic_error(std::string("ShardedMonitor: ") + operation +
+                           " requires " + runtime::RoutingModeName(expected) +
+                           " routing, this monitor uses " +
+                           runtime::RoutingModeName(router_.mode()) +
+                           "; use " + alternative + " instead");
+  }
+}
+
+ShardedMonitor::Prediction ShardedMonitor::Predict(
+    uint64_t key, const std::vector<double>& features, double weight) {
+  RequireMode(runtime::RoutingMode::kHashKey, "Predict(key, features)",
+              "Predict(features)");
+  runtime::Router::Guard guard = router_.AcquireKey(key);
+  MonitorEngine::Ticket t =
+      shards_[static_cast<size_t>(guard.slot)].engine->Predict(features,
+                                                               weight);
+  Prediction p;
+  p.shard = guard.slot;
+  p.id = t.id;
+  p.label = t.predicted;
+  p.scores = std::move(t.scores);
+  return p;
+}
+
+void ShardedMonitor::Feed(uint64_t key, const Instance& instance) {
+  RequireMode(runtime::RoutingMode::kHashKey, "Feed(key, instance)",
+              "Feed(instance)");
+  {
+    runtime::Router::Guard guard = router_.AcquireKey(key);
+    shards_[static_cast<size_t>(guard.slot)].engine->Feed(instance);
+  }
+  NoteCompleted();
+}
+
+bool ShardedMonitor::LabelKey(uint64_t key, uint64_t id, int true_label) {
+  RequireMode(runtime::RoutingMode::kHashKey, "LabelKey(key, id, label)",
+              "Label(shard, id, label)");
+  bool applied;
+  {
+    runtime::Router::Guard guard = router_.AcquireKey(key);
+    applied = shards_[static_cast<size_t>(guard.slot)].engine->Label(
+                  id, true_label) == LabelOutcome::kApplied;
+  }
+  if (applied) NoteCompleted();
+  return applied;
+}
+
+ShardedMonitor::Prediction ShardedMonitor::Predict(
+    const std::vector<double>& features, double weight) {
+  RequireMode(runtime::RoutingMode::kRoundRobin, "Predict(features)",
+              "Predict(key, features)");
+  runtime::Router::Guard guard = router_.AcquireNext();
+  MonitorEngine::Ticket t =
+      shards_[static_cast<size_t>(guard.slot)].engine->Predict(features,
+                                                               weight);
+  Prediction p;
+  p.shard = guard.slot;
+  p.id = t.id;
+  p.label = t.predicted;
+  p.scores = std::move(t.scores);
+  return p;
+}
+
+void ShardedMonitor::Feed(const Instance& instance) {
+  RequireMode(runtime::RoutingMode::kRoundRobin, "Feed(instance)",
+              "Feed(key, instance)");
+  {
+    runtime::Router::Guard guard = router_.AcquireNext();
+    shards_[static_cast<size_t>(guard.slot)].engine->Feed(instance);
+  }
+  NoteCompleted();
+}
+
+bool ShardedMonitor::Label(int shard, uint64_t id, int true_label) {
+  bool applied;
+  {
+    runtime::Router::Guard guard = router_.AcquireSlot(shard);
+    applied = shards_[static_cast<size_t>(guard.slot)].engine->Label(
+                  id, true_label) == LabelOutcome::kApplied;
+  }
+  if (applied) NoteCompleted();
+  return applied;
+}
+
+int ShardedMonitor::AddShard() {
+  runtime::Router::Exclusive exclusive = router_.LockTable();
+  // Strict throw-before-commit order: everything that can fail (component
+  // construction, both allocations) happens before the router advertises
+  // the new slot, so an exception leaves table and shard vector in step —
+  // never a slot whose shards_ entry is missing.
+  shards_.reserve(shards_.size() + 1);
+  const int shard = static_cast<int>(shards_.size());
+  Shard fresh = MakeShard(shard);
+  router_.AddSlot(exclusive);
+  shards_.push_back(std::move(fresh));  // No-throw: capacity reserved.
+  return shard;
+}
+
+void ShardedMonitor::DrainShard(int shard) {
+  runtime::Router::Exclusive exclusive = router_.LockTable();
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+    throw std::out_of_range("ShardedMonitor::DrainShard: shard " +
+                            std::to_string(shard) + " not in a table of " +
+                            std::to_string(shards_.size()) + " shards");
+  }
+  Shard& old = shards_[static_cast<size_t>(shard)];
+  // Every step that can fail — CaptureEngineState throws for components
+  // without CloneState() — runs before the old shard is touched, so a
+  // failed drain is a no-op (the shard keeps serving), never a shard
+  // bricked in a paused state.
+  EngineState state =
+      CaptureEngineState(*old.engine, *old.classifier, old.detector.get());
+  Shard fresh;
+  fresh.classifier = std::move(state.classifier);
+  fresh.detector = std::move(state.detector);
+  fresh.engine = std::make_unique<MonitorEngine>(
+      schema_, fresh.classifier.get(), fresh.detector.get(), config_,
+      MakeShardHooks(shard), pending_capacity_);
+  fresh.engine->Restore(state.snapshot);  // Also clears any paused state.
+  // The documented drain step. Under the exclusive table lock nothing can
+  // push anyway, but pausing the outgoing engine keeps the handoff
+  // protocol (Pause → state moves → successor serves) explicit and
+  // identical to the intra-stream sharding one.
+  old.engine->Pause();
+  shards_[static_cast<size_t>(shard)] = std::move(fresh);
+}
+
+int ShardedMonitor::shards() const { return router_.slots(); }
+
+EngineSnapshot ShardedMonitor::ShardSnapshot(int shard) const {
+  runtime::Router::Guard guard = router_.AcquireSlot(shard);
+  return shards_[static_cast<size_t>(guard.slot)].engine->Snapshot();
+}
+
+PrequentialResult ShardedMonitor::ShardResult(int shard) const {
+  runtime::Router::Guard guard = router_.AcquireSlot(shard);
+  return shards_[static_cast<size_t>(guard.slot)].engine->Result();
+}
+
+std::vector<EngineSnapshot> ShardedMonitor::CollectSnapshots() const {
+  // Slots are locked one at a time (table lock re-taken per slot), so
+  // producers on other shards keep flowing while we sweep; each per-shard
+  // snapshot is internally consistent, the fleet view is advisory.
+  const int n = router_.slots();
+  std::vector<EngineSnapshot> snapshots;
+  snapshots.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    runtime::Router::Guard guard = router_.AcquireSlot(i);
+    snapshots.push_back(shards_[static_cast<size_t>(guard.slot)].engine->Snapshot());
+  }
+  return snapshots;
+}
+
+EngineSnapshot ShardedMonitor::Snapshot() const {
+  return MergeSnapshots(CollectSnapshots());
+}
+
+PrequentialResult ShardedMonitor::Result() const {
+  return MergedResult(CollectSnapshots());
+}
+
+std::vector<ShardAlarm> ShardedMonitor::DriftLog() const {
+  return MergeShardAlarms(CollectSnapshots());
+}
+
+uint64_t ShardedMonitor::SumOverShards(
+    const std::function<uint64_t(const MonitorEngine&)>& read) const {
+  uint64_t sum = 0;
+  const int n = router_.slots();
+  for (int i = 0; i < n; ++i) {
+    runtime::Router::Guard guard = router_.AcquireSlot(i);
+    sum += read(*shards_[static_cast<size_t>(guard.slot)].engine);
+  }
+  return sum;
+}
+
+uint64_t ShardedMonitor::position() const {
+  return SumOverShards([](const MonitorEngine& e) { return e.position(); });
+}
+
+uint64_t ShardedMonitor::pending() const {
+  return SumOverShards(
+      [](const MonitorEngine& e) { return static_cast<uint64_t>(e.pending()); });
+}
+
+uint64_t ShardedMonitor::evicted() const {
+  return SumOverShards([](const MonitorEngine& e) { return e.evicted(); });
+}
+
+uint64_t ShardedMonitor::unmatched_labels() const {
+  return SumOverShards(
+      [](const MonitorEngine& e) { return e.unmatched_labels(); });
+}
+
+void ShardedMonitor::NoteCompleted() {
+  if (merge_every_ == 0 || !hooks_.on_merged_metrics) return;
+  const uint64_t n =
+      completed_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % merge_every_ != 0) return;
+  const std::vector<EngineSnapshot> snapshots = CollectSnapshots();
+  size_t window_total = 0;
+  for (const EngineSnapshot& s : snapshots) window_total += s.window.size();
+  const EngineSnapshot merged = MergeSnapshots(snapshots);
+  MetricsSnapshot m;
+  m.position = merged.position;
+  m.window_size = window_total;
+  if (merged.metric_samples > 0) {
+    const double samples = static_cast<double>(merged.metric_samples);
+    m.pmauc = merged.sum_pmauc / samples;
+    m.pmgm = merged.sum_pmgm / samples;
+    m.accuracy = merged.sum_accuracy / samples;
+    m.kappa = merged.sum_kappa / samples;
+  }
+  hooks_.on_merged_metrics(m);
+}
+
+// -------------------------------------------------- ShardedMonitorBuilder
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::Schema(
+    const StreamSchema& schema) {
+  schema_ = schema;
+  has_schema_ = true;
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::Schema(int num_features,
+                                                     int num_classes) {
+  return Schema(StreamSchema(num_features, num_classes, "sharded-monitor"));
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::Classifier(
+    const std::string& name, ParamMap params) {
+  classifier_name_ = name;
+  classifier_params_ = std::move(params);
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::Detector(const std::string& name,
+                                                       ParamMap params) {
+  detector_name_ = name;
+  detector_params_ = std::move(params);
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::NoDetector() {
+  detector_name_.clear();
+  detector_params_ = ParamMap();
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::Seed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::Protocol(
+    const PrequentialConfig& config) {
+  config_ = config;
+  has_config_ = true;
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::PendingCapacity(size_t capacity) {
+  pending_capacity_ = capacity < 1 ? 1 : capacity;
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::Shards(int shards) {
+  shards_ = shards;
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::Mode(runtime::RoutingMode mode) {
+  mode_ = mode;
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::MergeEvery(uint64_t n) {
+  merge_every_ = n;
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::OnDrift(
+    std::function<void(int, const DriftAlarm&, const MetricsSnapshot&)>
+        callback) {
+  hooks_.on_drift = std::move(callback);
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::OnWarning(
+    std::function<void(int, uint64_t, const MetricsSnapshot&)> callback) {
+  hooks_.on_warning = std::move(callback);
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::OnMetrics(
+    std::function<void(int, const MetricsSnapshot&)> callback) {
+  hooks_.on_metrics = std::move(callback);
+  return *this;
+}
+
+ShardedMonitorBuilder& ShardedMonitorBuilder::OnMergedMetrics(
+    std::function<void(const MetricsSnapshot&)> callback) {
+  hooks_.on_merged_metrics = std::move(callback);
+  return *this;
+}
+
+ShardedMonitor ShardedMonitorBuilder::Build() const {
+  if (!has_schema_) {
+    throw ApiError(
+        "ShardedMonitorBuilder: no schema configured; call Schema(features, "
+        "classes) before Build() — a push monitor has no stream to infer it "
+        "from");
+  }
+  if (!schema_.Valid()) {
+    throw ApiError(
+        "ShardedMonitorBuilder: invalid schema (need num_features > 0 and "
+        "num_classes >= 2)");
+  }
+  if (shards_ < 1) {
+    throw ApiError("ShardedMonitorBuilder: Shards(" + std::to_string(shards_) +
+                   ") is degenerate; a serving router needs >= 1 shard");
+  }
+
+  PrequentialConfig config;
+  if (has_config_) {
+    config = config_;
+    try {
+      ValidatePrequentialConfig(config);
+    } catch (const std::invalid_argument& e) {
+      throw ApiError(e.what());
+    }
+  } else {
+    // The paper's protocol; timing off, as in MonitorBuilder — a serving
+    // monitor wants alerts, not per-call stopwatches.
+    config.metric_window = 1000;
+    config.eval_interval = 250;
+    config.warmup = 500;
+    config.timing = false;
+  }
+
+  // Resolve the component names eagerly so an unknown name is an ApiError
+  // at Build(), not inside the first AddShard() mid-serving.
+  Classifiers().Require(classifier_name_);
+  if (!detector_name_.empty()) Detectors().Require(detector_name_);
+
+  return ShardedMonitor(schema_, config, classifier_name_, classifier_params_,
+                        detector_name_, detector_params_, seed_,
+                        pending_capacity_, shards_, mode_, merge_every_,
+                        hooks_);
+}
+
+}  // namespace api
+}  // namespace ccd

@@ -1,0 +1,296 @@
+#ifndef CCD_API_SHARDED_MONITOR_H_
+#define CCD_API_SHARDED_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/component_registry.h"
+#include "api/param_map.h"
+#include "eval/engine.h"
+#include "runtime/router.h"
+
+namespace ccd {
+namespace api {
+
+/// Aggregate callbacks of a ShardedMonitor: the per-shard engine events
+/// fan in here with the shard id attached. They fire synchronously on the
+/// pushing thread *while that shard's lock is held*, so:
+///
+///  * callbacks from different shards run concurrently — handlers must be
+///    thread-safe;
+///  * callbacks must NOT call back into the monitor (any method): the
+///    shard and routing locks are not reentrant, and the underlying engine
+///    additionally rejects mutating reentry with std::logic_error. Hand
+///    the event to a queue and act on another thread instead.
+struct ShardedHooks {
+  /// A drift alarm from shard `shard`. The alarm position is shard-local
+  /// (that engine's completed-instance count).
+  std::function<void(int shard, const DriftAlarm&, const MetricsSnapshot&)>
+      on_drift;
+  /// Shard `shard` entered its detector's warning zone.
+  std::function<void(int shard, uint64_t position, const MetricsSnapshot&)>
+      on_warning;
+  /// A periodic per-shard metric sample.
+  std::function<void(int shard, const MetricsSnapshot&)> on_metrics;
+  /// A periodic *cross-shard* aggregate (every MergeEvery(n) completed
+  /// labels): the EngineState merge of all shards, reported as total
+  /// position, summed window size and sample-weighted lifetime means.
+  std::function<void(const MetricsSnapshot&)> on_merged_metrics;
+};
+
+/// Concurrent serving router: K independent MonitorEngine shards — each
+/// with its own classifier/detector — behind a runtime::Router, so pushes
+/// from many threads land on disjoint engines and only serialize when they
+/// hit the *same* shard. This is the horizontal layer above api::Monitor:
+/// a Monitor serializes every push through one engine; a ShardedMonitor
+/// scales push throughput with the shard count (see bench/bench_serving).
+///
+///   auto monitor = api::ShardedMonitorBuilder()
+///                      .Schema(20, 5)
+///                      .Classifier("naive-bayes")
+///                      .Detector("DDM")
+///                      .Shards(8)
+///                      .OnDrift([](int shard, const ccd::DriftAlarm& a,
+///                                  const ccd::MetricsSnapshot& m) {
+///                        alert(shard, a.position, m.pmauc);
+///                      })
+///                      .Build();
+///
+///   // Hash mode (default): same key -> same shard, always.
+///   auto p = monitor.Predict(user_id, features);
+///   ...
+///   monitor.Label(p.shard, p.id, observed_outcome);
+///
+/// Routing modes:
+///  * kHashKey (default) — Predict(key, ...)/Feed(key, ...) route by
+///    runtime::Router::HashKey, so each key's instance sequence is handled
+///    by one engine in push order: per-key streams keep exact prequential
+///    semantics, and a single-threaded run is bit-identical to K
+///    independent api::Monitors fed the key-partitioned substreams
+///    (tests/router_test.cc proves it, multi-threaded included).
+///  * kRoundRobin — unkeyed Predict(...)/Feed(...) cycle over the shards;
+///    per-shard numbers become load-balanced samples of one logical
+///    stream, re-aggregated by Result()/Snapshot() and the periodic
+///    on_merged_metrics EngineState merge.
+///
+/// Live resharding — EngineState is the migration payload:
+///  * DrainShard(i) pauses shard i, captures its complete EngineState
+///    (engine snapshot incl. the pending-label buffer + CloneState()
+///    component clones) and hands it to a fresh replacement engine via
+///    Restore(); subsequent keys re-route to the new owner. Serving
+///    continues exactly where the drained engine stopped — results are
+///    bit-identical to never having moved.
+///  * AddShard() grows the table with a fresh, empty shard; keyed routing
+///    hashes over the grown table, so a slice of every old shard's *new*
+///    traffic re-routes to it (histories stay where they are).
+///
+/// Shard i's components are built with seed `Seed() + i` — a documented
+/// contract, so an external baseline can reconstruct any shard exactly.
+///
+/// Thread-safety: every public method is safe to call concurrently.
+/// Aggregate accessors (Result(), Snapshot(), position(), ...) lock shards
+/// one at a time, so they observe each shard consistently but not the
+/// fleet atomically while producers keep pushing. The monitor is neither
+/// copyable nor movable (engines hold routing state by address); it is
+/// created in place by ShardedMonitorBuilder::Build().
+class ShardedMonitor {
+ public:
+  /// What a Predict() call hands back: the shard that served it plus that
+  /// engine's ticket. Ids are shard-local — Label() needs both.
+  struct Prediction {
+    int shard = 0;
+    uint64_t id = 0;
+    int label = 0;  ///< Argmax of `scores`.
+    std::vector<double> scores;
+  };
+
+  ShardedMonitor(const ShardedMonitor&) = delete;
+  ShardedMonitor& operator=(const ShardedMonitor&) = delete;
+  ShardedMonitor(ShardedMonitor&&) = delete;
+  ShardedMonitor& operator=(ShardedMonitor&&) = delete;
+
+  // --- Hash-key mode pushes (throw std::logic_error in round-robin mode).
+
+  /// Routes `key` to its shard and scores `features` there.
+  Prediction Predict(uint64_t key, const std::vector<double>& features,
+                     double weight = 1.0);
+  /// Immediate-label fast path for `key`'s shard.
+  void Feed(uint64_t key, const Instance& instance);
+  /// Completes prediction `id` on the shard `key` currently routes to.
+  /// Only equivalent to Label(prediction.shard, ...) while no AddShard()
+  /// intervened — prefer the ticket's shard for reshard-proof labelling.
+  bool LabelKey(uint64_t key, uint64_t id, int true_label);
+
+  // --- Round-robin mode pushes (throw std::logic_error in hash mode).
+
+  /// Scores `features` on the next shard in rotation.
+  Prediction Predict(const std::vector<double>& features, double weight = 1.0);
+  /// Immediate-label fast path on the next shard in rotation.
+  void Feed(const Instance& instance);
+
+  // --- Mode-independent.
+
+  /// Completes prediction `id` on shard `shard` (from the Prediction
+  /// ticket). Returns false when the id is unknown there — evicted, never
+  /// issued, or already labelled. Throws std::out_of_range on a bogus
+  /// shard index.
+  bool Label(int shard, uint64_t id, int true_label);
+
+  /// Grows the table with a fresh, empty shard (components built with
+  /// seed `Seed() + index`) and returns its index. Takes the table
+  /// exclusively: blocks until in-flight pushes drain, then re-routes
+  /// subsequent keyed traffic over the grown table.
+  int AddShard();
+
+  /// Pauses shard `shard`, moves its complete EngineState (pending-label
+  /// buffer included) onto a fresh replacement engine via CloneState() +
+  /// Restore(), and re-routes subsequent keys to the new owner. Behavior
+  /// afterwards is bit-identical to never having drained. Throws
+  /// std::out_of_range on a bogus index, std::logic_error when a component
+  /// does not implement CloneState().
+  void DrainShard(int shard);
+
+  int shards() const;
+  runtime::RoutingMode mode() const { return router_.mode(); }
+  const StreamSchema& schema() const { return schema_; }
+
+  /// Per-shard run state / result (the engine's own, shard-local view).
+  EngineSnapshot ShardSnapshot(int shard) const;
+  PrequentialResult ShardResult(int shard) const;
+
+  /// Cross-shard aggregates (MergeSnapshots / MergedResult over all
+  /// shards; see eval/engine.h for the merge semantics).
+  EngineSnapshot Snapshot() const;
+  PrequentialResult Result() const;
+  /// Every shard's drift alarms, shard-tagged, ascending by position.
+  std::vector<ShardAlarm> DriftLog() const;
+
+  uint64_t position() const;          ///< Completed labels, all shards.
+  uint64_t pending() const;           ///< Parked predictions, all shards.
+  uint64_t evicted() const;
+  uint64_t unmatched_labels() const;
+
+ private:
+  friend class ShardedMonitorBuilder;
+
+  struct Shard {
+    // Declaration order matters: the engine holds raw pointers into the
+    // components, so they must outlive it on destruction.
+    std::unique_ptr<OnlineClassifier> classifier;
+    std::unique_ptr<DriftDetector> detector;
+    std::unique_ptr<MonitorEngine> engine;
+  };
+
+  ShardedMonitor(const StreamSchema& schema, const PrequentialConfig& config,
+                 std::string classifier_name, ParamMap classifier_params,
+                 std::string detector_name, ParamMap detector_params,
+                 uint64_t seed, size_t pending_capacity, int shards,
+                 runtime::RoutingMode mode, uint64_t merge_every,
+                 ShardedHooks hooks);
+
+  /// Builds shard `shard`'s fresh components + engine (seed_ + shard).
+  Shard MakeShard(int shard) const;
+  /// Engine hooks forwarding to hooks_ with `shard` attached; empty slots
+  /// stay empty so uninstalled callbacks keep costing nothing.
+  EngineHooks MakeShardHooks(int shard) const;
+  void RequireMode(runtime::RoutingMode expected, const char* operation,
+                   const char* alternative) const;
+  /// Counts one completed label and fires the periodic merged-metrics
+  /// aggregate when the cadence is hit. Call with no locks held.
+  void NoteCompleted();
+  std::vector<EngineSnapshot> CollectSnapshots() const;
+  /// Sums `read(engine)` over all shards, locking one slot at a time —
+  /// the shared sweep behind the aggregate counters.
+  uint64_t SumOverShards(
+      const std::function<uint64_t(const MonitorEngine&)>& read) const;
+
+  const StreamSchema schema_;
+  const PrequentialConfig config_;
+  const std::string classifier_name_;
+  const ParamMap classifier_params_;
+  const std::string detector_name_;  ///< Empty = no detector.
+  const ParamMap detector_params_;
+  const uint64_t seed_;
+  const size_t pending_capacity_;
+  const uint64_t merge_every_;  ///< 0 = no periodic merge.
+  const ShardedHooks hooks_;
+
+  mutable runtime::Router router_;
+  /// Parallel to the router's slot table. Mutated only under the exclusive
+  /// table lock; shards_[i] is read under the table lock + slot i's lock.
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> completed_total_{0};
+};
+
+/// Fluent composer of a ShardedMonitor, mirroring api::MonitorBuilder:
+/// components resolved by registered name, paper-protocol defaults,
+/// ApiError on invalid configuration. Defaults: 1 shard (a sanity
+/// baseline — size real deployments with Shards(k)), hash-key routing,
+/// classifier "cs-ptree", no detector, pending capacity 1024 *per shard*,
+/// no periodic merge.
+class ShardedMonitorBuilder {
+ public:
+  ShardedMonitorBuilder() = default;
+
+  ShardedMonitorBuilder& Schema(const StreamSchema& schema);
+  ShardedMonitorBuilder& Schema(int num_features, int num_classes);
+
+  ShardedMonitorBuilder& Classifier(const std::string& name,
+                                    ParamMap params = {});
+  ShardedMonitorBuilder& Detector(const std::string& name, ParamMap params = {});
+  ShardedMonitorBuilder& NoDetector();
+
+  /// Base seed: shard i's components are created with seed + i.
+  ShardedMonitorBuilder& Seed(uint64_t seed);
+  ShardedMonitorBuilder& Protocol(const PrequentialConfig& config);
+  /// Per-shard delayed-label buffer bound (clamped to >= 1).
+  ShardedMonitorBuilder& PendingCapacity(size_t capacity);
+
+  /// Initial shard count (>= 1; ApiError otherwise).
+  ShardedMonitorBuilder& Shards(int shards);
+  ShardedMonitorBuilder& Mode(runtime::RoutingMode mode);
+  /// Fire on_merged_metrics every `n` completed labels (0 disables).
+  ShardedMonitorBuilder& MergeEvery(uint64_t n);
+
+  ShardedMonitorBuilder& OnDrift(
+      std::function<void(int, const DriftAlarm&, const MetricsSnapshot&)>
+          callback);
+  ShardedMonitorBuilder& OnWarning(
+      std::function<void(int, uint64_t, const MetricsSnapshot&)> callback);
+  ShardedMonitorBuilder& OnMetrics(
+      std::function<void(int, const MetricsSnapshot&)> callback);
+  ShardedMonitorBuilder& OnMergedMetrics(
+      std::function<void(const MetricsSnapshot&)> callback);
+
+  /// Instantiates the shards and their engines. Throws ApiError on a
+  /// missing/invalid schema, unknown component names, a degenerate
+  /// protocol or shard count. The result is constructed in place
+  /// (guaranteed copy elision) — bind it directly:
+  ///   auto monitor = builder.Build();
+  ShardedMonitor Build() const;
+
+ private:
+  StreamSchema schema_;
+  bool has_schema_ = false;
+  std::string classifier_name_ = "cs-ptree";
+  ParamMap classifier_params_;
+  std::string detector_name_;  ///< Empty = no detector.
+  ParamMap detector_params_;
+  uint64_t seed_ = 42;
+  bool has_config_ = false;
+  PrequentialConfig config_;
+  size_t pending_capacity_ = 1024;
+  int shards_ = 1;
+  runtime::RoutingMode mode_ = runtime::RoutingMode::kHashKey;
+  uint64_t merge_every_ = 0;
+  ShardedHooks hooks_;
+};
+
+}  // namespace api
+}  // namespace ccd
+
+#endif  // CCD_API_SHARDED_MONITOR_H_

@@ -24,6 +24,19 @@ int Argmax(const std::vector<double>& scores) {
   return predicted;
 }
 
+/// Restores `*flag` to false even when the hook throws, so an engine whose
+/// callback failed is not bricked into permanent "reentrant" rejections.
+class HookScope {
+ public:
+  explicit HookScope(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~HookScope() { *flag_ = false; }
+  HookScope(const HookScope&) = delete;
+  HookScope& operator=(const HookScope&) = delete;
+
+ private:
+  bool* flag_;
+};
+
 }  // namespace
 
 MonitorEngine::MonitorEngine(const StreamSchema& schema,
@@ -47,7 +60,18 @@ MonitorEngine::MonitorEngine(const StreamSchema& schema,
       0);
 }
 
+void MonitorEngine::RequireNotInHook(const char* operation) const {
+  if (in_hook_) {
+    throw std::logic_error(
+        std::string("MonitorEngine: reentrant ") + operation +
+        " from inside an engine callback — on_drift/on_warning/on_metrics "
+        "fire mid-step, so hooks must not call back into the engine's "
+        "mutating surface (read-only accessors are fine)");
+  }
+}
+
 void MonitorEngine::Feed(const Instance& instance) {
+  RequireNotInHook("Feed()");
   if (paused_) {
     throw std::logic_error("MonitorEngine: Feed() on a paused engine");
   }
@@ -62,6 +86,7 @@ void MonitorEngine::Feed(const Instance& instance) {
 
 MonitorEngine::Ticket MonitorEngine::Predict(
     const std::vector<double>& features, double weight) {
+  RequireNotInHook("Predict()");
   if (paused_) {
     throw std::logic_error("MonitorEngine: Predict() on a paused engine");
   }
@@ -85,6 +110,7 @@ MonitorEngine::Ticket MonitorEngine::Predict(
 }
 
 LabelOutcome MonitorEngine::Label(uint64_t id, int true_label) {
+  RequireNotInHook("Label()");
   // Ids are issued monotonically and the buffer is ordered, so the lookup
   // is a binary search even when labels arrive out of order.
   auto it = std::lower_bound(
@@ -148,6 +174,7 @@ void MonitorEngine::Complete(const Instance& instance, bool measured,
       acc_.drift_positions.push_back(i);
       acc_.drift_events.push_back(DriftAlarm{i, detector_->drifted_classes()});
       if (hooks_.on_drift) {
+        HookScope scope(&in_hook_);
         hooks_.on_drift(acc_.drift_events.back(), TakeSnapshot(i));
       }
       if (config_.reset_on_drift) classifier_->Reset();
@@ -156,6 +183,7 @@ void MonitorEngine::Complete(const Instance& instance, bool measured,
       // Fire on the *transition* into the warning zone only: DDM-family
       // detectors sit in kWarning for whole regions, and the snapshot's
       // pmAUC pass is too expensive to run per instance.
+      HookScope scope(&in_hook_);
       hooks_.on_warning(i, TakeSnapshot(i));
     }
   }
@@ -189,6 +217,7 @@ void MonitorEngine::Complete(const Instance& instance, bool measured,
       snapshot.accuracy = accuracy;
       snapshot.kappa = kappa;
       snapshot.window_size = metrics_.size();
+      HookScope scope(&in_hook_);
       hooks_.on_metrics(snapshot);
     }
   }
@@ -234,6 +263,7 @@ EngineSnapshot MonitorEngine::Snapshot() const {
 }
 
 void MonitorEngine::Restore(const EngineSnapshot& s) {
+  RequireNotInHook("Restore()");
   if (static_cast<int>(s.window.size()) > config_.metric_window) {
     throw std::invalid_argument(
         "MonitorEngine::Restore: snapshot window holds " +
@@ -304,6 +334,112 @@ void MonitorEngine::Restore(const EngineSnapshot& s) {
   sum_pmgm_ = s.sum_pmgm;
   sum_acc_ = s.sum_accuracy;
   sum_kappa_ = s.sum_kappa;
+}
+
+namespace {
+
+/// kStable < kWarning < kDrift, for picking the most severe shard state.
+int Severity(DetectorState s) {
+  switch (s) {
+    case DetectorState::kStable:
+      return 0;
+    case DetectorState::kWarning:
+      return 1;
+    case DetectorState::kDrift:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+EngineSnapshot MergeSnapshots(const std::vector<EngineSnapshot>& shards) {
+  EngineSnapshot merged;
+  if (shards.empty()) return merged;
+  merged.next_id = 0;
+  merged.class_counts.assign(shards.front().class_counts.size(), 0);
+  for (const EngineSnapshot& s : shards) {
+    if (s.class_counts.size() != merged.class_counts.size()) {
+      throw std::invalid_argument(
+          "MergeSnapshots: shard snapshots disagree on class arity (" +
+          std::to_string(merged.class_counts.size()) + " vs " +
+          std::to_string(s.class_counts.size()) + ")");
+    }
+    merged.position += s.position;
+    merged.pending += s.pending;
+    merged.evicted += s.evicted;
+    merged.unmatched_labels += s.unmatched_labels;
+    merged.metric_samples += s.metric_samples;
+    merged.next_id = std::max(merged.next_id, s.next_id);
+    if (Severity(s.last_detector_state) >
+        Severity(merged.last_detector_state)) {
+      merged.last_detector_state = s.last_detector_state;
+    }
+    for (size_t c = 0; c < s.class_counts.size(); ++c) {
+      merged.class_counts[c] += s.class_counts[c];
+    }
+    merged.drift_log.insert(merged.drift_log.end(), s.drift_log.begin(),
+                            s.drift_log.end());
+    merged.pmauc_series.insert(merged.pmauc_series.end(),
+                               s.pmauc_series.begin(), s.pmauc_series.end());
+    merged.sum_pmauc += s.sum_pmauc;
+    merged.sum_pmgm += s.sum_pmgm;
+    merged.sum_accuracy += s.sum_accuracy;
+    merged.sum_kappa += s.sum_kappa;
+    merged.detector_seconds += s.detector_seconds;
+    merged.classifier_seconds += s.classifier_seconds;
+  }
+  // Positions are shard-local; present the aggregate logs in ascending
+  // position order, ties keeping shard (concatenation) order.
+  std::stable_sort(merged.drift_log.begin(), merged.drift_log.end(),
+                   [](const DriftAlarm& a, const DriftAlarm& b) {
+                     return a.position < b.position;
+                   });
+  std::stable_sort(merged.pmauc_series.begin(), merged.pmauc_series.end(),
+                   [](const std::pair<uint64_t, double>& a,
+                      const std::pair<uint64_t, double>& b) {
+                     return a.first < b.first;
+                   });
+  return merged;
+}
+
+std::vector<ShardAlarm> MergeShardAlarms(
+    const std::vector<EngineSnapshot>& shards) {
+  std::vector<ShardAlarm> alarms;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    for (const DriftAlarm& a : shards[i].drift_log) {
+      alarms.push_back(ShardAlarm{static_cast<int>(i), a});
+    }
+  }
+  std::stable_sort(alarms.begin(), alarms.end(),
+                   [](const ShardAlarm& a, const ShardAlarm& b) {
+                     return a.alarm.position < b.alarm.position;
+                   });
+  return alarms;
+}
+
+PrequentialResult MergedResult(const std::vector<EngineSnapshot>& shards) {
+  const EngineSnapshot merged = MergeSnapshots(shards);
+  PrequentialResult r;
+  r.instances = merged.position;
+  r.drifts = merged.drift_log.size();
+  r.drift_events = merged.drift_log;
+  r.drift_positions.reserve(merged.drift_log.size());
+  for (const DriftAlarm& a : merged.drift_log) {
+    r.drift_positions.push_back(a.position);
+  }
+  r.class_counts = merged.class_counts;
+  r.pmauc_series = merged.pmauc_series;
+  r.detector_seconds = merged.detector_seconds;
+  r.classifier_seconds = merged.classifier_seconds;
+  if (merged.metric_samples > 0) {
+    const double n = static_cast<double>(merged.metric_samples);
+    r.mean_pmauc = merged.sum_pmauc / n;
+    r.mean_pmgm = merged.sum_pmgm / n;
+    r.mean_accuracy = merged.sum_accuracy / n;
+    r.mean_kappa = merged.sum_kappa / n;
+  }
+  return r;
 }
 
 PrequentialResult MonitorEngine::Result() const {

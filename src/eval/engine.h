@@ -27,6 +27,15 @@ struct MetricsSnapshot {
 /// Optional event callbacks of a MonitorEngine. All fire synchronously on
 /// the thread driving the engine; metric snapshots (an O(W log W) pmAUC
 /// pass) are only computed for callbacks that are actually installed.
+///
+/// Hooks must NOT call back into the engine's mutating surface: they fire
+/// mid-step, while the instance that triggered them is only half applied
+/// (metrics recorded, classifier not yet trained, position not yet
+/// advanced), so a reentrant Feed/Predict/Label/Restore would interleave
+/// two prequential steps and silently corrupt the run. The engine enforces
+/// this — a reentrant mutating call throws std::logic_error naming the
+/// violation. Read-only accessors (position(), Result(), Snapshot()) stay
+/// callable from hooks.
 struct EngineHooks {
   /// A drift alarm on a measured (post-warmup) instance, before the
   /// classifier reset/train for that instance.
@@ -85,6 +94,46 @@ struct EngineSnapshot {
   double detector_seconds = 0.0;
   double classifier_seconds = 0.0;
 };
+
+/// A drift alarm attributed to the serving shard whose engine raised it —
+/// the fan-in payload of a sharded monitor's aggregate drift log (each
+/// per-shard DriftAlarm::position is a *shard-local* instance count).
+struct ShardAlarm {
+  int shard = 0;
+  DriftAlarm alarm;
+};
+
+inline bool operator==(const ShardAlarm& a, const ShardAlarm& b) {
+  return a.shard == b.shard && a.alarm == b.alarm;
+}
+inline bool operator!=(const ShardAlarm& a, const ShardAlarm& b) {
+  return !(a == b);
+}
+
+/// Aggregate view over per-shard engine snapshots: counters and metric
+/// accumulators summed, class counts added element-wise, drift logs and
+/// pmAUC series concatenated in ascending position order (ties keep shard
+/// order). The merge is an *observability* artifact, not a restore
+/// payload: positions are shard-local so the interleaving is lost, and the
+/// per-shard metric-window / pending-buffer contents are deliberately not
+/// carried over (their sizes still are, via `pending` and
+/// `metric_samples`). `next_id` is the max over shards and
+/// `last_detector_state` the most severe current state. Throws
+/// std::invalid_argument when the snapshots disagree on class arity.
+/// An empty input merges to a default snapshot.
+EngineSnapshot MergeSnapshots(const std::vector<EngineSnapshot>& shards);
+
+/// The drift logs of all shards, tagged with their shard index and merged
+/// in ascending position order (ties keep shard order) — the aggregate
+/// alarm history of a sharded monitor.
+std::vector<ShardAlarm> MergeShardAlarms(
+    const std::vector<EngineSnapshot>& shards);
+
+/// Aggregate PrequentialResult over per-shard snapshots: instance/drift/
+/// class counts summed, mean metrics the sample-weighted means over all
+/// shards' periodic samples (identical to one engine's Result() when given
+/// a single snapshot). Wall-clock fields are summed.
+PrequentialResult MergedResult(const std::vector<EngineSnapshot>& shards);
 
 /// Outcome of MonitorEngine::Label().
 enum class LabelOutcome {
@@ -159,9 +208,17 @@ class MonitorEngine {
 
   /// Pause() refuses new work (Feed/Predict throw std::logic_error) while
   /// still accepting Label() for in-flight predictions — the drain step of
-  /// a shard handoff. Resume() re-opens the intake.
-  void Pause() { paused_ = true; }
-  void Resume() { paused_ = false; }
+  /// a shard handoff. Resume() re-opens the intake. Both are mutating
+  /// entry points: called from inside a hook they throw like Feed() does,
+  /// instead of silently stalling the engine mid-step.
+  void Pause() {
+    RequireNotInHook("Pause()");
+    paused_ = true;
+  }
+  void Resume() {
+    RequireNotInHook("Resume()");
+    paused_ = false;
+  }
   bool paused() const { return paused_; }
 
   uint64_t position() const { return completed_; }
@@ -204,6 +261,9 @@ class MonitorEngine {
   void Complete(const Instance& instance, bool measured, int predicted,
                 const std::vector<double>& scores);
   MetricsSnapshot TakeSnapshot(uint64_t position) const;
+  /// Throws std::logic_error when called from inside an EngineHooks
+  /// callback — the reentrancy guard of every mutating entry point.
+  void RequireNotInHook(const char* operation) const;
 
   StreamSchema schema_;
   OnlineClassifier* classifier_ = nullptr;
@@ -219,6 +279,7 @@ class MonitorEngine {
   uint64_t evicted_ = 0;
   uint64_t unmatched_ = 0;
   bool paused_ = false;
+  bool in_hook_ = false;  ///< True while an EngineHooks callback runs.
   DetectorState last_state_ = DetectorState::kStable;
 
   /// Accumulating result; means are finalized in Result().

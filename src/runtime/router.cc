@@ -1,0 +1,104 @@
+#include "runtime/router.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace ccd {
+namespace runtime {
+
+const char* RoutingModeName(RoutingMode mode) {
+  switch (mode) {
+    case RoutingMode::kHashKey:
+      return "hash-key";
+    case RoutingMode::kRoundRobin:
+      return "round-robin";
+  }
+  return "unknown";
+}
+
+Router::Router(int slots, RoutingMode mode) : mode_(mode) {
+  if (slots < 1) slots = 1;
+  slot_mutexes_.reserve(static_cast<size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    slot_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+uint64_t Router::HashKey(uint64_t key) {
+  // splitmix64 finalizer (Steele, Lea & Flood): a full-avalanche bijection
+  // on 64-bit integers, so sequential ids spread uniformly over slots.
+  uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int Router::KeySlot(uint64_t key, int slots) {
+  if (slots < 1) {
+    throw std::invalid_argument("Router::KeySlot: slots must be >= 1, got " +
+                                std::to_string(slots));
+  }
+  return static_cast<int>(HashKey(key) % static_cast<uint64_t>(slots));
+}
+
+int Router::slots() const {
+  std::shared_lock<std::shared_mutex> lock(table_mutex_);
+  return static_cast<int>(slot_mutexes_.size());
+}
+
+Router::Guard Router::AcquireKey(uint64_t key) {
+  Guard guard;
+  guard.table = std::shared_lock<std::shared_mutex>(table_mutex_);
+  guard.slot = KeySlot(key, static_cast<int>(slot_mutexes_.size()));
+  guard.slot_lock =
+      std::unique_lock<std::mutex>(*slot_mutexes_[static_cast<size_t>(guard.slot)]);
+  return guard;
+}
+
+Router::Guard Router::AcquireNext() {
+  if (mode_ != RoutingMode::kRoundRobin) {
+    throw std::logic_error(
+        "Router::AcquireNext: router is in hash-key mode; route keyed "
+        "traffic with AcquireKey() so per-key ordering holds");
+  }
+  Guard guard;
+  guard.table = std::shared_lock<std::shared_mutex>(table_mutex_);
+  const uint64_t n = next_.fetch_add(1, std::memory_order_relaxed);
+  guard.slot = static_cast<int>(n % slot_mutexes_.size());
+  guard.slot_lock =
+      std::unique_lock<std::mutex>(*slot_mutexes_[static_cast<size_t>(guard.slot)]);
+  return guard;
+}
+
+Router::Guard Router::AcquireSlot(int slot) {
+  Guard guard;
+  guard.table = std::shared_lock<std::shared_mutex>(table_mutex_);
+  if (slot < 0 || static_cast<size_t>(slot) >= slot_mutexes_.size()) {
+    throw std::out_of_range("Router::AcquireSlot: slot " +
+                            std::to_string(slot) + " not in a table of " +
+                            std::to_string(slot_mutexes_.size()) + " slots");
+  }
+  guard.slot = slot;
+  guard.slot_lock =
+      std::unique_lock<std::mutex>(*slot_mutexes_[static_cast<size_t>(slot)]);
+  return guard;
+}
+
+Router::Exclusive Router::LockTable() {
+  Exclusive exclusive;
+  exclusive.table = std::unique_lock<std::shared_mutex>(table_mutex_);
+  return exclusive;
+}
+
+int Router::AddSlot(const Exclusive& exclusive) {
+  if (!exclusive.table.owns_lock() ||
+      exclusive.table.mutex() != &table_mutex_) {
+    throw std::logic_error(
+        "Router::AddSlot: requires this router's own exclusive table lock");
+  }
+  slot_mutexes_.push_back(std::make_unique<std::mutex>());
+  return static_cast<int>(slot_mutexes_.size()) - 1;
+}
+
+}  // namespace runtime
+}  // namespace ccd

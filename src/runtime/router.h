@@ -1,0 +1,108 @@
+#ifndef CCD_RUNTIME_ROUTER_H_
+#define CCD_RUNTIME_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace ccd {
+namespace runtime {
+
+/// How a Router picks the slot a push lands on.
+enum class RoutingMode {
+  kHashKey,    ///< Deterministic hash of a caller-supplied 64-bit key.
+  kRoundRobin, ///< Successive pushes cycle over the slots.
+};
+
+const char* RoutingModeName(RoutingMode mode);
+
+/// Concurrency spine of a sharded serving surface: a slot table (one slot
+/// per shard) behind a striped-lock discipline. Callers acquire a Guard —
+/// a shared lock on the table plus the exclusive lock of exactly one slot —
+/// so pushes routed to *different* slots run fully in parallel while two
+/// pushes to the same slot serialize on that slot's mutex only. Resharding
+/// (adding a slot, swapping the state behind one) takes the table lock
+/// exclusively, which drains every in-flight Guard first; the table is
+/// never mutated under a reader.
+///
+/// The Router deliberately owns no payload: the engines live in the layer
+/// above (api::ShardedMonitor), which stores them in a vector parallel to
+/// the slot table. Lock order is table-then-slot everywhere, and a Guard
+/// holds at most one slot mutex, so the discipline is deadlock-free by
+/// construction — provided slot-holding code never re-enters the Router
+/// (see the reentrancy notes on api::ShardedMonitor's callbacks).
+class Router {
+ public:
+  /// `slots` is clamped to >= 1.
+  Router(int slots, RoutingMode mode);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Deterministic 64-bit mix (splitmix64 finalizer): pure integer
+  /// arithmetic, so key placement is stable across platforms, runs and
+  /// processes — the published contract tests and external balancers can
+  /// compute shard ownership with.
+  static uint64_t HashKey(uint64_t key);
+
+  /// The slot a key routes to in a `slots`-wide table:
+  /// HashKey(key) % slots. Exposed statically so a caller can partition a
+  /// keyed stream exactly as a live Router would (the differential tests
+  /// rely on this).
+  static int KeySlot(uint64_t key, int slots);
+
+  RoutingMode mode() const { return mode_; }
+
+  /// Current slot count. Takes the table lock; racing an AddSlot() the
+  /// caller may see either count, so don't use the result to index slots —
+  /// acquire a Guard instead.
+  int slots() const;
+
+  /// Shared table lock + exclusive lock of one slot. Movable; releases
+  /// slot first, then the table view, on destruction.
+  struct Guard {
+    std::shared_lock<std::shared_mutex> table;
+    std::unique_lock<std::mutex> slot_lock;
+    int slot = -1;
+  };
+
+  /// Routes by key hash (any mode — round-robin tables still support keyed
+  /// lookups, e.g. to label a parked prediction).
+  Guard AcquireKey(uint64_t key);
+
+  /// Routes to the next slot in round-robin order. Throws std::logic_error
+  /// in kHashKey mode: silently round-robining keyed traffic would break
+  /// the per-key ordering the hash contract promises.
+  Guard AcquireNext();
+
+  /// Locks a specific slot (e.g. the shard id a Prediction ticket names).
+  /// Throws std::out_of_range when `slot` is not in the table.
+  Guard AcquireSlot(int slot);
+
+  /// Exclusive table lock: every Guard has drained and none can start
+  /// until release. The reshard window — the holder may AddSlot() and swap
+  /// payload state in the layer above.
+  struct Exclusive {
+    std::unique_lock<std::shared_mutex> table;
+  };
+  Exclusive LockTable();
+
+  /// Appends one slot (with its mutex) under an exclusive lock and returns
+  /// its index. Subsequent keyed routes hash over the grown table.
+  int AddSlot(const Exclusive& exclusive);
+
+ private:
+  mutable std::shared_mutex table_mutex_;
+  /// unique_ptr: std::mutex is immovable, the vector is not.
+  std::vector<std::unique_ptr<std::mutex>> slot_mutexes_;
+  const RoutingMode mode_;
+  std::atomic<uint64_t> next_{0};  ///< Round-robin cursor.
+};
+
+}  // namespace runtime
+}  // namespace ccd
+
+#endif  // CCD_RUNTIME_ROUTER_H_

@@ -82,5 +82,41 @@ void ParallelFor(int threads, std::size_t n,
   }
 }
 
+void RunThreads(int threads, const std::function<void(int)>& fn) {
+  if (threads < 1) threads = 1;
+  std::mutex mutex;
+  std::condition_variable barrier;
+  int ready = 0;
+  bool go = false;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        ++ready;
+        barrier.notify_all();
+        barrier.wait(lock, [&] { return go; });
+      }
+      try {
+        fn(t);
+      } catch (...) {
+        errors[static_cast<std::size_t>(t)] = std::current_exception();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    barrier.wait(lock, [&] { return ready == threads; });
+    go = true;
+    barrier.notify_all();
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
 }  // namespace runtime
 }  // namespace ccd

@@ -330,6 +330,95 @@ TEST(MonitorEngineTest, WarningFiresOncePerRegionEntry) {
   EXPECT_EQ(warnings, (std::vector<uint64_t>{299u, 599u}));
 }
 
+// ---------------------------------------------------- hook reentrancy
+
+// Regression for the callback-reentrancy hole: hooks fire mid-step (the
+// triggering instance is only half applied), so a hook calling back into
+// the engine's mutating surface used to silently interleave two
+// prequential steps. The engine now rejects it loudly; read-only
+// accessors stay legal from hooks.
+TEST(MonitorEngineTest, HooksMustNotReenterTheMutatingSurface) {
+  StreamSchema schema(3, 4, "synthetic");
+  FrozenClassifier clf(schema);
+  PrequentialConfig cfg = ShortConfig();
+  cfg.warmup = 100;
+
+  int rejected = 0;
+  int snapshots_from_hook = 0;
+  EngineHooks hooks;
+  MonitorEngine* self = nullptr;
+  hooks.on_metrics = [&](const MetricsSnapshot&) {
+    // Every mutating entry point throws std::logic_error naming the
+    // violation...
+    const Instance instance({1.0, 0.0, 0.0}, 1);
+    try {
+      self->Feed(instance);
+      ADD_FAILURE() << "reentrant Feed() was not rejected";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("reentrant"), std::string::npos);
+      ++rejected;
+    }
+    EXPECT_THROW(self->Predict({1.0, 0.0, 0.0}), std::logic_error);
+    EXPECT_THROW(self->Label(1, 2), std::logic_error);
+    EXPECT_THROW(self->Restore(EngineSnapshot{}), std::logic_error);
+    EXPECT_THROW(self->Pause(), std::logic_error);
+    EXPECT_THROW(self->Resume(), std::logic_error);
+    // ... while the read-only surface stays usable for observability.
+    (void)self->position();
+    (void)self->Result();
+    (void)self->Snapshot();
+    ++snapshots_from_hook;
+  };
+  MonitorEngine engine(schema, &clf, nullptr, cfg, std::move(hooks));
+  self = &engine;
+
+  for (int i = 0; i < 700; ++i) {
+    engine.Feed(Instance({static_cast<double>(i % 5), 0.0, 0.0}, i % 4));
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(rejected, snapshots_from_hook);
+  // The guarded hook never corrupted the run: every push is accounted.
+  EXPECT_EQ(engine.position(), 700u);
+}
+
+// A hook that lets the reentrancy error escape fails the outer push, but
+// the guard flag unwinds with it — the engine is not bricked into
+// rejecting every later call.
+TEST(MonitorEngineTest, HookExceptionUnwindsTheReentrancyGuard) {
+  StreamSchema schema(3, 4, "synthetic");
+  FrozenClassifier clf(schema);
+  ScriptedLocalDetector det;
+  PrequentialConfig cfg = ShortConfig();
+  cfg.warmup = 100;
+
+  bool armed = true;
+  EngineHooks hooks;
+  MonitorEngine* self = nullptr;
+  hooks.on_drift = [&](const DriftAlarm&, const MetricsSnapshot&) {
+    if (armed) self->Feed(Instance({0.0, 0.0, 0.0}, 0));  // Throws.
+  };
+  MonitorEngine engine(schema, &clf, &det, cfg, std::move(hooks));
+  self = &engine;
+
+  // The detector fires on its 400th Observe (position 399): that Feed
+  // propagates the hook's reentrancy error.
+  int i = 0;
+  EXPECT_THROW(
+      {
+        for (; i < 700; ++i) {
+          engine.Feed(
+              Instance({static_cast<double>(i % 5), 0.0, 0.0}, i % 4));
+        }
+      },
+      std::logic_error);
+  EXPECT_EQ(i, 399);
+  // Disarmed, the engine keeps serving.
+  armed = false;
+  const uint64_t before = engine.position();
+  engine.Feed(Instance({1.0, 0.0, 0.0}, 1));
+  EXPECT_EQ(engine.position(), before + 1);
+}
+
 TEST(MonitorEngineTest, SnapshotCapturesRunState) {
   StreamSchema schema(3, 4, "synthetic");
   FrozenClassifier clf(schema);

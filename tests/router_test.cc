@@ -1,0 +1,540 @@
+// Concurrent serving router (runtime/router.h + api/sharded_monitor.h) —
+// the harness proving the serving layer's load-bearing claims:
+//
+//  (a) differential — a hash-routed ShardedMonitor with K shards fed
+//      single-threaded is bit-identical, per shard, to K independent
+//      api::Monitors fed the same key-partitioned substreams;
+//  (b) multi-threaded stress — producer threads pushing interleaved
+//      Predict/Label land per-shard results bit-identical to the
+//      single-threaded replay of the same per-key sequences (plus a
+//      contended variant that hammers shared shards for TSan);
+//  (c) resharding — DrainShard mid-stream migrates the complete
+//      EngineState (pending-label buffer included) and the run continues
+//      exactly as if nothing moved; AddShard re-routes keys over the
+//      grown table.
+//
+// Also covers the Router's hash/slot contracts, the EngineSnapshot merge
+// helpers and the shard-tagged callback fan-in. This suite is part of the
+// TSan CI gate.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/api.h"
+#include "eval/engine.h"
+#include "runtime/router.h"
+#include "testing_util.h"
+
+namespace ccd {
+namespace {
+
+using runtime::Router;
+using runtime::RoutingMode;
+using test_util::ExpectSnapshotEq;
+using test_util::KeyedInstance;
+using test_util::KeysForSlot;
+using test_util::MakeKeyedSchedule;
+using test_util::MakeRbfDriftStream;
+using test_util::RunProducers;
+using test_util::ShortConfig;
+
+/// The serving schema of MakeRbfDriftStream / MakeKeyedSchedule.
+StreamSchema ServingSchema() { return StreamSchema(6, 3, "serving"); }
+
+/// A sharded monitor on cheap components — lock behavior, not learning, is
+/// under test here.
+api::ShardedMonitorBuilder ServingBuilder(int shards, uint64_t seed = 100) {
+  return api::ShardedMonitorBuilder()
+      .Schema(ServingSchema())
+      .Classifier("naive-bayes")
+      .Detector("DDM")
+      .Seed(seed)
+      .Protocol(ShortConfig())
+      .Shards(shards);
+}
+
+// ------------------------------------------------------- Router contracts
+
+TEST(RouterTest, HashKeyIsPinnedAndStable) {
+  // The placement contract is pure integer arithmetic; these pinned values
+  // guarantee it never drifts across platforms, compilers or refactors —
+  // external balancers compute shard ownership from the same numbers.
+  EXPECT_EQ(Router::HashKey(0), 16294208416658607535ull);
+  EXPECT_EQ(Router::HashKey(1), 10451216379200822465ull);
+  EXPECT_EQ(Router::HashKey(42), 13679457532755275413ull);
+  EXPECT_EQ(Router::HashKey(123456789), 2466975172287755897ull);
+  EXPECT_EQ(Router::KeySlot(0, 8), 7);
+  EXPECT_EQ(Router::KeySlot(1, 8), 1);
+  EXPECT_EQ(Router::KeySlot(42, 8), 5);
+  // One slot swallows everything; sequential keys spread over many.
+  std::vector<int> hits(8, 0);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(Router::KeySlot(k, 1), 0);
+    ++hits[static_cast<size_t>(Router::KeySlot(k, 8))];
+  }
+  for (int h : hits) EXPECT_GT(h, 0);
+  EXPECT_THROW(Router::KeySlot(7, 0), std::invalid_argument);
+}
+
+TEST(RouterTest, GuardsRouteAndModeIsEnforced) {
+  Router hash_router(4, RoutingMode::kHashKey);
+  EXPECT_EQ(hash_router.slots(), 4);
+  {
+    Router::Guard guard = hash_router.AcquireKey(42);
+    EXPECT_EQ(guard.slot, Router::KeySlot(42, 4));
+    EXPECT_TRUE(guard.slot_lock.owns_lock());
+  }
+  // Round-robining keyed traffic would break per-key ordering — rejected.
+  EXPECT_THROW(hash_router.AcquireNext(), std::logic_error);
+  EXPECT_THROW(hash_router.AcquireSlot(4), std::out_of_range);
+  EXPECT_THROW(hash_router.AcquireSlot(-1), std::out_of_range);
+
+  Router rr_router(3, RoutingMode::kRoundRobin);
+  for (int i = 0; i < 7; ++i) {
+    Router::Guard guard = rr_router.AcquireNext();
+    EXPECT_EQ(guard.slot, i % 3);
+  }
+  // Keyed lookups stay legal on a round-robin table (ticket labelling).
+  EXPECT_NO_THROW(rr_router.AcquireKey(7));
+}
+
+TEST(RouterTest, AddSlotGrowsTableUnderExclusiveLockOnly) {
+  Router router(2, RoutingMode::kHashKey);
+  {
+    Router::Exclusive exclusive = router.LockTable();
+    EXPECT_EQ(router.AddSlot(exclusive), 2);
+  }
+  EXPECT_EQ(router.slots(), 3);
+  EXPECT_NO_THROW(router.AcquireSlot(2));
+  // A *different* router's lock is not good enough.
+  Router other(1, RoutingMode::kHashKey);
+  Router::Exclusive foreign = other.LockTable();
+  EXPECT_THROW(router.AddSlot(foreign), std::logic_error);
+}
+
+// --------------------------------------------------------- merge helpers
+
+TEST(MergeSnapshotsTest, SumsCountersAndOrdersLogs) {
+  EngineSnapshot a;
+  a.position = 10;
+  a.pending = 2;
+  a.evicted = 1;
+  a.metric_samples = 3;
+  a.next_id = 5;
+  a.last_detector_state = DetectorState::kWarning;
+  a.class_counts = {4, 6};
+  a.drift_log = {DriftAlarm{7, {0}}};
+  a.pmauc_series = {{7, 0.5}};
+  a.sum_pmauc = 1.5;
+  EngineSnapshot b;
+  b.position = 20;
+  b.unmatched_labels = 4;
+  b.metric_samples = 1;
+  b.next_id = 9;
+  b.last_detector_state = DetectorState::kDrift;
+  b.class_counts = {1, 2};
+  b.drift_log = {DriftAlarm{3, {}}, DriftAlarm{7, {1}}};
+  b.pmauc_series = {{3, 0.25}};
+  b.sum_pmauc = 0.5;
+
+  const EngineSnapshot m = MergeSnapshots({a, b});
+  EXPECT_EQ(m.position, 30u);
+  EXPECT_EQ(m.pending, 2u);
+  EXPECT_EQ(m.evicted, 1u);
+  EXPECT_EQ(m.unmatched_labels, 4u);
+  EXPECT_EQ(m.metric_samples, 4u);
+  EXPECT_EQ(m.next_id, 9u);
+  EXPECT_EQ(m.last_detector_state, DetectorState::kDrift);
+  EXPECT_EQ(m.class_counts, (std::vector<uint64_t>{5, 8}));
+  // Ascending position, shard order on ties (a's alarm at 7 before b's).
+  ASSERT_EQ(m.drift_log.size(), 3u);
+  EXPECT_EQ(m.drift_log[0], (DriftAlarm{3, {}}));
+  EXPECT_EQ(m.drift_log[1], (DriftAlarm{7, {0}}));
+  EXPECT_EQ(m.drift_log[2], (DriftAlarm{7, {1}}));
+  EXPECT_EQ(m.pmauc_series,
+            (std::vector<std::pair<uint64_t, double>>{{3, 0.25}, {7, 0.5}}));
+  EXPECT_EQ(m.sum_pmauc, 2.0);
+
+  const std::vector<ShardAlarm> alarms = MergeShardAlarms({a, b});
+  ASSERT_EQ(alarms.size(), 3u);
+  EXPECT_EQ(alarms[0], (ShardAlarm{1, DriftAlarm{3, {}}}));
+  EXPECT_EQ(alarms[1], (ShardAlarm{0, DriftAlarm{7, {0}}}));
+  EXPECT_EQ(alarms[2], (ShardAlarm{1, DriftAlarm{7, {1}}}));
+
+  const PrequentialResult r = MergedResult({a, b});
+  EXPECT_EQ(r.instances, 30u);
+  EXPECT_EQ(r.drifts, 3u);
+  EXPECT_EQ(r.drift_positions, (std::vector<uint64_t>{3, 7, 7}));
+  EXPECT_EQ(r.mean_pmauc, 0.5);  // (1.5 + 0.5) / 4 samples.
+
+  // Shards disagreeing on class arity are a caller bug, not a zero-fill.
+  EngineSnapshot c;
+  c.class_counts = {1, 2, 3};
+  EXPECT_THROW(MergeSnapshots({a, c}), std::invalid_argument);
+  // Degenerate inputs.
+  EXPECT_EQ(MergeSnapshots({}).position, 0u);
+  EXPECT_EQ(MergedResult({}).instances, 0u);
+}
+
+TEST(MergeSnapshotsTest, SingleShardMergeMatchesEngineResult) {
+  auto stream = MakeRbfDriftStream(900, 21);
+  test_util::FrozenClassifier clf(stream->schema());
+  MonitorEngine engine(stream->schema(), &clf, nullptr, ShortConfig());
+  for (const Instance& instance : Take(stream.get(), 1500)) {
+    engine.Feed(instance);
+  }
+  test_util::ExpectBitIdentical(engine.Result(),
+                                MergedResult({engine.Snapshot()}));
+}
+
+// ------------------------------------------------- (a) differential test
+
+// A hash-routed ShardedMonitor fed single-threaded is bit-identical, per
+// shard, to K independent api::Monitors fed the key-partitioned
+// substreams — the router adds routing, not arithmetic. The baseline uses
+// the documented contracts: shard i's components are seeded Seed() + i,
+// and keys partition by Router::KeySlot(key, K).
+TEST(ShardedDifferentialTest, HashRoutedEqualsIndependentEnginesPerShard) {
+  constexpr int kShards = 4;
+  constexpr uint64_t kSeed = 100;
+  const PrequentialConfig cfg = ShortConfig();
+
+  auto monitor = ServingBuilder(kShards, kSeed).Build();
+  EXPECT_EQ(monitor.mode(), RoutingMode::kHashKey);
+  EXPECT_EQ(monitor.shards(), kShards);
+
+  std::vector<api::Monitor> baseline;
+  for (int i = 0; i < kShards; ++i) {
+    baseline.push_back(api::MonitorBuilder()
+                           .Schema(ServingSchema())
+                           .Classifier("naive-bayes")
+                           .Detector("DDM")
+                           .Seed(kSeed + static_cast<uint64_t>(i))
+                           .Protocol(cfg)
+                           .Build());
+  }
+
+  auto stream = MakeRbfDriftStream(1500, 11);
+  const std::vector<Instance> data = Take(stream.get(), 3000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const uint64_t key = i;
+    monitor.Feed(key, data[i]);
+    baseline[static_cast<size_t>(Router::KeySlot(key, kShards))].Feed(data[i]);
+  }
+
+  EXPECT_EQ(monitor.position(), 3000u);
+  for (int s = 0; s < kShards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    ExpectSnapshotEq(baseline[static_cast<size_t>(s)].Snapshot(),
+                     monitor.ShardSnapshot(s));
+  }
+  // The aggregate result is the merge of exactly those engines.
+  test_util::ExpectBitIdentical(
+      MergedResult({baseline[0].Snapshot(), baseline[1].Snapshot(),
+                    baseline[2].Snapshot(), baseline[3].Snapshot()}),
+      monitor.Result());
+}
+
+// ------------------------------------------------ (b) multi-thread stress
+
+/// Pushes one producer's schedule through the monitor: Predict/Label
+/// interleaved with a 3-deep verification-latency queue, drained at the
+/// end. Deterministic per shard, whatever the cross-shard interleaving.
+void PushSchedule(api::ShardedMonitor& monitor,
+                  const std::vector<KeyedInstance>& schedule) {
+  std::deque<std::pair<api::ShardedMonitor::Prediction, int>> in_flight;
+  for (const KeyedInstance& push : schedule) {
+    in_flight.emplace_back(
+        monitor.Predict(push.key, push.instance.features,
+                        push.instance.weight),
+        push.instance.label);
+    if (in_flight.size() > 3) {
+      const auto& [prediction, label] = in_flight.front();
+      ASSERT_TRUE(monitor.Label(prediction.shard, prediction.id, label));
+      in_flight.pop_front();
+    }
+  }
+  while (!in_flight.empty()) {
+    const auto& [prediction, label] = in_flight.front();
+    ASSERT_TRUE(monitor.Label(prediction.shard, prediction.id, label));
+    in_flight.pop_front();
+  }
+}
+
+// The acceptance stress: 4 producer threads × 4 shards, each thread
+// owning the keys of exactly one shard, so the per-shard push sequences
+// are deterministic while the threads genuinely interleave. Per-shard
+// counts, metric windows and drift logs must be bit-identical to a
+// single-threaded replay of the same per-key sequences.
+TEST(RouterStressTest, DisjointKeyProducersMatchSingleThreadedRun) {
+  constexpr int kShards = 4;
+  constexpr int kProducers = 4;
+  constexpr size_t kPushes = 1500;
+
+  std::vector<std::vector<KeyedInstance>> schedules;
+  for (int t = 0; t < kProducers; ++t) {
+    schedules.push_back(MakeKeyedSchedule(KeysForSlot(t, kShards, 8), kPushes,
+                                          /*seed=*/7 + t));
+  }
+
+  auto concurrent = ServingBuilder(kShards).Build();
+  RunProducers(kProducers, [&](int t) {
+    PushSchedule(concurrent, schedules[static_cast<size_t>(t)]);
+  });
+
+  auto sequential = ServingBuilder(kShards).Build();
+  for (const auto& schedule : schedules) {
+    PushSchedule(sequential, schedule);
+  }
+
+  EXPECT_EQ(concurrent.position(), kProducers * kPushes);
+  for (int s = 0; s < kShards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    ExpectSnapshotEq(sequential.ShardSnapshot(s), concurrent.ShardSnapshot(s));
+  }
+  test_util::ExpectBitIdentical(sequential.Result(), concurrent.Result());
+}
+
+// The contended variant: more producers than shards and overlapping key
+// sets, so threads hammer the *same* slot mutexes. Per-shard order is
+// nondeterministic here; the invariant is accounting — every push lands
+// exactly once and the striped locks never lose or double-count one.
+// (This is the test that makes the TSan job bite.)
+TEST(RouterStressTest, ContendedShardsKeepAggregateCounts) {
+  constexpr int kShards = 2;
+  constexpr int kProducers = 4;
+  constexpr size_t kPushes = 1000;
+
+  auto monitor = ServingBuilder(kShards).Build();
+  std::vector<std::vector<KeyedInstance>> schedules;
+  for (int t = 0; t < kProducers; ++t) {
+    // Same key pool for everyone: maximal contention.
+    schedules.push_back(MakeKeyedSchedule({0, 1, 2, 3, 4, 5}, kPushes,
+                                          /*seed=*/50 + t));
+  }
+  std::vector<uint64_t> expected_class_counts(3, 0);
+  for (const auto& schedule : schedules) {
+    for (const KeyedInstance& push : schedule) {
+      ++expected_class_counts[static_cast<size_t>(push.instance.label)];
+    }
+  }
+
+  RunProducers(kProducers, [&](int t) {
+    for (const KeyedInstance& push : schedules[static_cast<size_t>(t)]) {
+      monitor.Feed(push.key, push.instance);
+    }
+  });
+
+  EXPECT_EQ(monitor.position(), kProducers * kPushes);
+  EXPECT_EQ(monitor.pending(), 0u);
+  EXPECT_EQ(monitor.Snapshot().class_counts, expected_class_counts);
+}
+
+// --------------------------------------------------- (c) resharding tests
+
+// DrainShard mid-stream: the drained shard's complete EngineState —
+// pending-label buffer included — moves onto the replacement engine, and
+// everything afterwards (late labels, metric windows, drift logs, further
+// pushes) is bit-identical to a run that never drained.
+TEST(ReshardTest, DrainShardMidStreamIsBitIdenticalToNeverDraining) {
+  constexpr int kShards = 3;
+  const std::vector<KeyedInstance> schedule =
+      MakeKeyedSchedule({0, 1, 2, 3, 4, 5, 6, 7}, 2400, /*seed=*/13);
+
+  auto collect = [&](bool drain) {
+    auto monitor = ServingBuilder(kShards).Build();
+    // First half, plus two predictions left in flight across the drain.
+    for (size_t i = 0; i < 1200; ++i) {
+      monitor.Feed(schedule[i].key, schedule[i].instance);
+    }
+    auto p1 = monitor.Predict(schedule[1200].key,
+                              schedule[1200].instance.features);
+    auto p2 = monitor.Predict(schedule[1201].key,
+                              schedule[1201].instance.features);
+    if (drain) monitor.DrainShard(1);
+    // The parked predictions stay servable on the new owner.
+    EXPECT_TRUE(monitor.Label(p1.shard, p1.id, schedule[1200].instance.label));
+    EXPECT_TRUE(monitor.Label(p2.shard, p2.id, schedule[1201].instance.label));
+    if (drain) monitor.DrainShard(0);
+    for (size_t i = 1202; i < schedule.size(); ++i) {
+      monitor.Feed(schedule[i].key, schedule[i].instance);
+    }
+    std::vector<EngineSnapshot> snapshots;
+    for (int s = 0; s < kShards; ++s) {
+      snapshots.push_back(monitor.ShardSnapshot(s));
+    }
+    return snapshots;
+  };
+
+  const std::vector<EngineSnapshot> undrained = collect(false);
+  const std::vector<EngineSnapshot> drained = collect(true);
+  ASSERT_EQ(undrained.size(), drained.size());
+  for (size_t s = 0; s < undrained.size(); ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    ExpectSnapshotEq(undrained[s], drained[s]);
+  }
+}
+
+TEST(ReshardTest, AddShardGrowsTableAndReroutesKeys) {
+  auto monitor = ServingBuilder(2).Build();
+  const std::vector<KeyedInstance> schedule =
+      MakeKeyedSchedule({0, 1, 2, 3, 4, 5, 6, 7}, 600, /*seed=*/23);
+  for (const KeyedInstance& push : schedule) {
+    monitor.Feed(push.key, push.instance);
+  }
+  EXPECT_EQ(monitor.AddShard(), 2);
+  EXPECT_EQ(monitor.shards(), 3);
+  // Histories stayed put; the new shard starts empty.
+  EXPECT_EQ(monitor.position(), 600u);
+  EXPECT_EQ(monitor.ShardSnapshot(2).position, 0u);
+  // Keyed routing now hashes over the grown table.
+  for (uint64_t key = 0; key < 32; ++key) {
+    auto p = monitor.Predict(key, schedule[0].instance.features);
+    EXPECT_EQ(p.shard, Router::KeySlot(key, 3));
+    EXPECT_TRUE(monitor.Label(p.shard, p.id, schedule[0].instance.label));
+  }
+  // Some of those keys actually landed on the new shard (pinned: of keys
+  // 0..31, several hash to slot 2 in a 3-wide table).
+  EXPECT_GT(monitor.ShardSnapshot(2).position, 0u);
+}
+
+// ----------------------------------------- round-robin + aggregate fan-in
+
+TEST(RoundRobinTest, CyclesShardsAndAggregates) {
+  constexpr int kShards = 3;
+  std::vector<std::pair<uint64_t, size_t>> merged_samples;  // position, window
+  auto monitor = api::ShardedMonitorBuilder()
+                     .Schema(ServingSchema())
+                     .Classifier("naive-bayes")
+                     .Detector("DDM")
+                     .Seed(100)
+                     .Protocol(ShortConfig())
+                     .Shards(kShards)
+                     .Mode(RoutingMode::kRoundRobin)
+                     .MergeEvery(500)
+                     .OnMergedMetrics([&](const MetricsSnapshot& m) {
+                       merged_samples.emplace_back(m.position, m.window_size);
+                     })
+                     .Build();
+
+  auto stream = MakeRbfDriftStream(1500, 29);
+  const std::vector<Instance> data = Take(stream.get(), 3000);
+  for (const Instance& instance : data) monitor.Feed(instance);
+
+  // Perfect rotation: every shard saw exactly a third of the stream.
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(monitor.ShardSnapshot(s).position, 1000u);
+  }
+  EXPECT_EQ(monitor.Result().instances, 3000u);
+  // The periodic EngineState merge fired on schedule, at the aggregate
+  // positions, with the summed window sizes.
+  ASSERT_EQ(merged_samples.size(), 6u);
+  for (size_t i = 0; i < merged_samples.size(); ++i) {
+    EXPECT_EQ(merged_samples[i].first, (i + 1) * 500);
+  }
+  EXPECT_GT(merged_samples.back().second, 0u);
+
+  // Ticket-based serving works in rotation mode too.
+  auto p = monitor.Predict(data[0].features);
+  EXPECT_TRUE(monitor.Label(p.shard, p.id, data[0].label));
+
+  // Keyed pushes are the hash-mode surface.
+  EXPECT_THROW(monitor.Feed(7, data[0]), std::logic_error);
+  EXPECT_THROW(monitor.Predict(7, data[0].features), std::logic_error);
+  EXPECT_THROW(monitor.LabelKey(7, 1, 0), std::logic_error);
+}
+
+TEST(RoutingModeTest, HashModeRejectsUnkeyedPushes) {
+  auto monitor = ServingBuilder(2).Build();
+  auto stream = MakeRbfDriftStream(100, 3);
+  const Instance instance = Take(stream.get(), 1).front();
+  EXPECT_THROW(monitor.Feed(instance), std::logic_error);
+  EXPECT_THROW(monitor.Predict(instance.features), std::logic_error);
+  EXPECT_THROW(monitor.Label(5, 1, 0), std::out_of_range);
+  EXPECT_THROW(monitor.DrainShard(2), std::out_of_range);
+  EXPECT_THROW(monitor.ShardSnapshot(-1), std::out_of_range);
+}
+
+// Shard-tagged drift fan-in: every alarm a shard engine raises arrives at
+// the aggregate callback tagged with that shard's id, and the aggregate
+// DriftLog() is exactly the fan-in history.
+TEST(ShardedCallbackTest, DriftAlarmsFanInWithShardIds) {
+  std::mutex mutex;
+  std::vector<ShardAlarm> seen;
+  auto monitor = api::ShardedMonitorBuilder()
+                     .Schema(ServingSchema())
+                     .Classifier("naive-bayes")
+                     .Detector("DDM")
+                     .Seed(100)
+                     .Protocol(ShortConfig())
+                     .Shards(3)
+                     .OnDrift([&](int shard, const DriftAlarm& alarm,
+                                  const MetricsSnapshot&) {
+                       std::lock_guard<std::mutex> lock(mutex);
+                       seen.push_back(ShardAlarm{shard, alarm});
+                     })
+                     .Build();
+
+  // A sudden concept switch on every key's substream: DDM sees the error
+  // rate jump on each shard.
+  const std::vector<KeyedInstance> schedule =
+      MakeKeyedSchedule({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 6000,
+                        /*seed=*/31);
+  for (const KeyedInstance& push : schedule) {
+    monitor.Feed(push.key, push.instance);
+  }
+
+  const std::vector<ShardAlarm> log = monitor.DriftLog();
+  ASSERT_FALSE(log.empty());  // The drift actually fired somewhere.
+  // Fan-in history == aggregate log (same alarms; fan-in order is the
+  // firing order, the log is position-sorted — compare as multisets via
+  // per-shard sequences).
+  for (int s = 0; s < 3; ++s) {
+    std::vector<DriftAlarm> from_callbacks;
+    for (const ShardAlarm& a : seen) {
+      if (a.shard == s) from_callbacks.push_back(a.alarm);
+    }
+    EXPECT_EQ(from_callbacks, monitor.ShardSnapshot(s).drift_log)
+        << "shard " << s;
+  }
+}
+
+// ------------------------------------------------------ builder contracts
+
+TEST(ShardedMonitorBuilderTest, ValidatesConfiguration) {
+  EXPECT_THROW(api::ShardedMonitorBuilder().Build(), api::ApiError);
+  EXPECT_THROW(
+      api::ShardedMonitorBuilder().Schema(0, 3).Build(), api::ApiError);
+  EXPECT_THROW(
+      api::ShardedMonitorBuilder().Schema(6, 3).Shards(0).Build(),
+      api::ApiError);
+  EXPECT_THROW(
+      api::ShardedMonitorBuilder().Schema(6, 3).Shards(-2).Build(),
+      api::ApiError);
+  EXPECT_THROW(api::ShardedMonitorBuilder()
+                   .Schema(6, 3)
+                   .Classifier("no-such-classifier")
+                   .Build(),
+               api::ApiError);
+  EXPECT_THROW(api::ShardedMonitorBuilder()
+                   .Schema(6, 3)
+                   .Detector("no-such-detector")
+                   .Build(),
+               api::ApiError);
+  PrequentialConfig bad = ShortConfig();
+  bad.eval_interval = 0;
+  EXPECT_THROW(
+      api::ShardedMonitorBuilder().Schema(6, 3).Protocol(bad).Build(),
+      api::ApiError);
+}
+
+}  // namespace
+}  // namespace ccd

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,9 @@
 #include "generators/drifting_stream.h"
 #include "generators/rbf.h"
 #include "generators/sea.h"
+#include "runtime/router.h"
+#include "runtime/thread_pool.h"
+#include "stream/stream.h"
 
 namespace ccd {
 namespace test_util {
@@ -235,6 +239,51 @@ inline std::unique_ptr<DriftingClassStream> MakeSeaDriftStream(
   io.base_ir = 5.0;
   return std::make_unique<DriftingClassStream>(
       std::move(cs), std::vector<DriftEvent>{ev}, ImbalanceSchedule(io), seed);
+}
+
+// ------------------------------------------------- concurrency harness
+
+/// Runs `fn(0) .. fn(producers-1)` on `producers` dedicated threads that
+/// all start together (runtime::RunThreads): every thread parks on a
+/// start barrier until the last one is up, so the calls genuinely contend
+/// instead of running in spawn order. The first exception (in
+/// thread-index order) is rethrown on the calling thread, so a producer
+/// failure is a test failure, not a std::terminate.
+inline void RunProducers(int producers, const std::function<void(int)>& fn) {
+  runtime::RunThreads(producers, fn);
+}
+
+/// One push of a keyed serving schedule.
+struct KeyedInstance {
+  uint64_t key = 0;
+  Instance instance;
+};
+
+/// The first `count` keys (scanning k = 0, 1, 2, ...) that a
+/// `slots`-wide hash router sends to `slot` — the key pool a producer
+/// thread that must own exactly one shard draws from.
+inline std::vector<uint64_t> KeysForSlot(int slot, int slots, size_t count) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; keys.size() < count; ++k) {
+    if (runtime::Router::KeySlot(k, slots) == slot) keys.push_back(k);
+  }
+  return keys;
+}
+
+/// Deterministic per-producer schedule: `count` instances drawn from a
+/// seeded RBF drift stream (drift mid-schedule), keys cycling over
+/// `keys`. Two calls with the same arguments produce the same pushes, so
+/// a multi-threaded run can be replayed single-threaded for comparison.
+inline std::vector<KeyedInstance> MakeKeyedSchedule(
+    const std::vector<uint64_t>& keys, size_t count, uint64_t seed) {
+  auto stream = MakeRbfDriftStream(/*drift_at=*/count / 2, seed);
+  const std::vector<Instance> data = Take(stream.get(), count);
+  std::vector<KeyedInstance> schedule;
+  schedule.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    schedule.push_back(KeyedInstance{keys[i % keys.size()], data[i]});
+  }
+  return schedule;
 }
 
 }  // namespace test_util
