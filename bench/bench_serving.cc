@@ -11,12 +11,21 @@
 //                 [--mode hash|rr] [--classifier cs-ptree]
 //                 [--detector DDM | --detector none]
 //                 [--router-shards 8 | --sweep 1,2,4,8] [--csv out.csv]
+//                 [--json out.json]
 //
 // With --router-shards K a single configuration runs; the default sweeps
 // K over {1, 2, 4, 8} at the given thread count so the scaling curve
 // (and the K=1 serialized baseline) prints in one table. The stream is
 // materialized up front and every configuration pushes the *same*
 // instances, so rows differ only in routing.
+//
+// Each row also measures the durability path (src/io/): Persist() the
+// fully loaded fleet to disk and ShardedMonitor::Open() it back — the
+// crash-recovery latency an operator actually waits on — and the on-disk
+// state size. --json emits the whole run machine-readable (CI archives
+// it as a BENCH_serving.json artifact).
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -24,6 +33,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "io/snapshot_store.h"
+#include "io/state_codec.h"
 #include "runtime/thread_pool.h"
 #include "utils/cli.h"
 #include "utils/table.h"
@@ -35,6 +46,9 @@ using Clock = std::chrono::steady_clock;
 struct RunResult {
   double seconds = 0.0;
   uint64_t drifts = 0;
+  double persist_seconds = 0.0;  ///< Persist() of the loaded fleet.
+  double open_seconds = 0.0;     ///< ShardedMonitor::Open() of the same.
+  uint64_t state_bytes = 0;      ///< Manifest-accounted on-disk size.
 };
 
 /// One measured configuration: `threads` producers push the materialized
@@ -77,7 +91,69 @@ RunResult RunOnce(const ccd::StreamSchema& schema,
                            std::to_string(monitor.position()) + " of " +
                            std::to_string(data.size()) + " accounted");
   }
+
+  // Restore-latency leg: persist the fully loaded fleet, then reopen it —
+  // the crash-recovery path. Timed separately so the throughput number
+  // stays a pure push measurement.
+  const std::string dir =
+      "/tmp/ccd-bench-serving-" + std::to_string(::getpid());
+  const auto p0 = Clock::now();
+  monitor.Persist(dir);
+  result.persist_seconds =
+      std::chrono::duration<double>(Clock::now() - p0).count();
+  const auto o0 = Clock::now();
+  auto reopened = ccd::api::ShardedMonitor::Open(dir);
+  result.open_seconds =
+      std::chrono::duration<double>(Clock::now() - o0).count();
+  if (reopened.position() != monitor.position()) {
+    throw std::logic_error("bench_serving: reopened fleet lost state — " +
+                           std::to_string(reopened.position()) + " of " +
+                           std::to_string(monitor.position()) + " restored");
+  }
+  ccd::io::SnapshotStore store(dir);
+  const ccd::io::Manifest manifest =
+      ccd::io::DecodeManifest(store.Read(ccd::io::kManifestName));
+  for (const auto& f : manifest.shards) result.state_bytes += f.size;
+  for (const std::string& name : store.List()) store.Remove(name);
+  ::rmdir(dir.c_str());
   return result;
+}
+
+/// Escapes nothing fancy — the strings here are registry names and CLI
+/// words; this bench's JSON needs no general escaper.
+void WriteJson(const std::string& path, const std::string& mode,
+               const std::string& classifier, const std::string& detector,
+               uint64_t instances, int threads,
+               const std::vector<std::pair<int, RunResult>>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    throw std::runtime_error("bench_serving: cannot write " + path);
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"serving\",\n  \"instances\": %llu,\n"
+               "  \"threads\": %d,\n  \"mode\": \"%s\",\n"
+               "  \"classifier\": \"%s\",\n  \"detector\": \"%s\",\n"
+               "  \"rows\": [\n",
+               static_cast<unsigned long long>(instances), threads,
+               mode.c_str(), classifier.c_str(),
+               detector.empty() ? "none" : detector.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunResult& r = rows[i].second;
+    const double rate =
+        static_cast<double>(instances) / (r.seconds > 0 ? r.seconds : 1);
+    std::fprintf(out,
+                 "    {\"shards\": %d, \"seconds\": %.6f, "
+                 "\"pushes_per_sec\": %.1f, \"drifts\": %llu, "
+                 "\"persist_seconds\": %.6f, \"open_seconds\": %.6f, "
+                 "\"state_bytes\": %llu}%s\n",
+                 rows[i].first, r.seconds, rate,
+                 static_cast<unsigned long long>(r.drifts), r.persist_seconds,
+                 r.open_seconds,
+                 static_cast<unsigned long long>(r.state_bytes),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
 }
 
 }  // namespace
@@ -137,8 +213,9 @@ int main(int argc, char** argv) try {
 
   ccd::Table table;
   table.SetHeader({"Shards", "Threads", "Seconds", "Kpush/s", "Speedup",
-                   "Drifts"});
+                   "Drifts", "Persist ms", "Open ms", "State KB"});
   double baseline_rate = 0.0;
+  std::vector<std::pair<int, RunResult>> rows;
   for (int shards : shard_counts) {
     const RunResult run = RunOnce(stream->schema(), data, threads, shards,
                                   mode, classifier, detector, seed);
@@ -149,13 +226,23 @@ int main(int argc, char** argv) try {
                   ccd::Table::Num(run.seconds, 3),
                   ccd::Table::Num(rate / 1000.0, 1),
                   ccd::Table::Num(rate / baseline_rate, 2) + "x",
-                  std::to_string(run.drifts)});
+                  std::to_string(run.drifts),
+                  ccd::Table::Num(run.persist_seconds * 1000.0, 2),
+                  ccd::Table::Num(run.open_seconds * 1000.0, 2),
+                  ccd::Table::Num(run.state_bytes / 1024.0, 1)});
+    rows.emplace_back(shards, run);
   }
   std::printf("%s\n", table.ToText().c_str());
 
   const std::string csv = cli.GetString("csv", "");
   if (!csv.empty() && table.WriteCsv(csv)) {
     std::printf("wrote %s\n", csv.c_str());
+  }
+  const std::string json = cli.GetString("json", "");
+  if (!json.empty()) {
+    WriteJson(json, mode_name, classifier, detector, data.size(), threads,
+              rows);
+    std::printf("wrote %s\n", json.c_str());
   }
   return 0;
 } catch (const ccd::api::ApiError& e) {

@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "eval/sharded.h"
+#include "io/snapshot_store.h"
+#include "io/state_codec.h"
+#include "io/wire.h"
 
 namespace ccd {
 namespace api {
@@ -205,6 +208,199 @@ void ShardedMonitor::DrainShard(int shard) {
 }
 
 int ShardedMonitor::shards() const { return router_.slots(); }
+
+// ----------------------------------------------------------- durability
+
+ShardedMonitor::ShardedMonitor(
+    const StreamSchema& schema, const PrequentialConfig& config,
+    std::string classifier_name, ParamMap classifier_params,
+    std::string detector_name, ParamMap detector_params, uint64_t seed,
+    size_t pending_capacity, runtime::RoutingMode mode, uint64_t merge_every,
+    ShardedHooks hooks, uint64_t completed_total, uint64_t generation,
+    std::vector<io::StateImage>&& images)
+    : schema_(schema),
+      config_(config),
+      classifier_name_(std::move(classifier_name)),
+      classifier_params_(std::move(classifier_params)),
+      detector_name_(std::move(detector_name)),
+      detector_params_(std::move(detector_params)),
+      seed_(seed),
+      pending_capacity_(pending_capacity),
+      merge_every_(merge_every),
+      hooks_(std::move(hooks)),
+      router_(static_cast<int>(images.size()), mode),
+      completed_total_(completed_total),
+      generation_(generation) {
+  shards_.reserve(images.size());
+  for (size_t i = 0; i < images.size(); ++i) {
+    io::StateImage& image = images[i];
+    Shard s;
+    s.classifier = std::move(image.state.classifier);
+    s.detector = std::move(image.state.detector);
+    s.engine = std::make_unique<MonitorEngine>(
+        schema_, s.classifier.get(), s.detector.get(), config_,
+        MakeShardHooks(static_cast<int>(i)), pending_capacity_);
+    s.engine->Restore(image.state.snapshot);
+    shards_.push_back(std::move(s));
+  }
+}
+
+io::StateImage ShardedMonitor::MakeShardImage(int shard) const {
+  io::StateImage image;
+  image.schema = schema_;
+  image.classifier = classifier_name_;
+  image.classifier_params = classifier_params_.ToString();
+  image.detector = detector_name_;
+  image.detector_params = detector_params_.ToString();
+  image.seed = seed_ + static_cast<uint64_t>(shard);
+  image.config = config_;
+  return image;
+}
+
+void ShardedMonitor::Persist(const std::string& directory) {
+  runtime::Router::Exclusive exclusive = router_.LockTable();
+  io::SnapshotStore store(directory);
+  const uint64_t next_gen = generation_ + 1;
+
+  io::Manifest manifest;
+  manifest.schema = schema_;
+  manifest.classifier = classifier_name_;
+  manifest.classifier_params = classifier_params_.ToString();
+  manifest.detector = detector_name_;
+  manifest.detector_params = detector_params_.ToString();
+  manifest.seed = seed_;
+  manifest.config = config_;
+  manifest.pending_capacity = pending_capacity_;
+  manifest.mode = static_cast<uint8_t>(router_.mode());
+  manifest.merge_every = merge_every_;
+  manifest.completed_total = completed_total_.load(std::memory_order_relaxed);
+  manifest.generation = next_gen;
+
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = shards_[i];
+    io::StateImage image = MakeShardImage(static_cast<int>(i));
+    image.state =
+        CaptureEngineState(*s.engine, *s.classifier, s.detector.get());
+    const std::string bytes = io::EncodeStateImage(image);
+    io::Manifest::ShardFile f;
+    f.file = "shard-" + std::to_string(i) + "-g" + std::to_string(next_gen) +
+             ".state";
+    f.size = bytes.size();
+    // Seeded with the shard index: a sealed envelope's whole-file CRC is
+    // the fixed CRC-32 residue (the trailer is its own checksum), so an
+    // unseeded digest could not tell shard files apart when swapped.
+    f.crc = io::Crc32(bytes.data(), bytes.size(), static_cast<uint32_t>(i));
+    store.Write(f.file, bytes);
+    manifest.shards.push_back(std::move(f));
+  }
+
+  // Commit point: the manifest names only the new generation's files, and
+  // its atomic rename flips the directory from old generation to new.
+  store.Write(io::kManifestName, io::EncodeManifest(manifest));
+
+  // Only now is the old generation (and any crash debris) garbage.
+  for (const std::string& name : store.List()) {
+    if (name == io::kManifestName) continue;
+    bool live = false;
+    for (const io::Manifest::ShardFile& f : manifest.shards) {
+      if (f.file == name) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) store.Remove(name);
+  }
+  generation_ = next_gen;
+}
+
+ShardedMonitor ShardedMonitor::Open(const std::string& directory,
+                                    ShardedHooks hooks) {
+  io::SnapshotStore store(directory);
+  io::Manifest m = io::DecodeManifest(store.Read(io::kManifestName));
+  std::vector<io::StateImage> images;
+  images.reserve(m.shards.size());
+  for (size_t i = 0; i < m.shards.size(); ++i) {
+    const io::Manifest::ShardFile& f = m.shards[i];
+    const std::string bytes = store.Read(f.file);
+    if (bytes.size() != f.size ||
+        io::Crc32(bytes.data(), bytes.size(), static_cast<uint32_t>(i)) !=
+            f.crc) {
+      throw io::WireError(
+          store.Path(f.file), 0,
+          "shard file does not match its manifest entry (size " +
+              std::to_string(bytes.size()) + " vs " + std::to_string(f.size) +
+              ", or CRC mismatch) — swapped or torn file");
+    }
+    io::StateImage image = io::DecodeStateImage(bytes);
+    if (image.schema.num_features != m.schema.num_features ||
+        image.schema.num_classes != m.schema.num_classes) {
+      throw io::WireError(store.Path(f.file), 0,
+                          "shard schema disagrees with the manifest");
+    }
+    images.push_back(std::move(image));
+  }
+  return ShardedMonitor(
+      m.schema, m.config, m.classifier, ParamMap::Parse(m.classifier_params),
+      m.detector, ParamMap::Parse(m.detector_params), m.seed,
+      static_cast<size_t>(m.pending_capacity),
+      static_cast<runtime::RoutingMode>(m.mode), m.merge_every,
+      std::move(hooks), m.completed_total, m.generation, std::move(images));
+}
+
+std::string ShardedMonitor::SerializeShard(int shard) const {
+  runtime::Router::Guard guard = router_.AcquireSlot(shard);
+  const Shard& s = shards_[static_cast<size_t>(guard.slot)];
+  io::StateImage image = MakeShardImage(guard.slot);
+  image.state = CaptureEngineState(*s.engine, *s.classifier, s.detector.get());
+  return io::EncodeStateImage(image);
+}
+
+std::string ShardedMonitor::ShipShard(int shard) {
+  runtime::Router::Exclusive exclusive = router_.LockTable();
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+    throw std::out_of_range("ShardedMonitor::ShipShard: shard " +
+                            std::to_string(shard) + " not in a table of " +
+                            std::to_string(shards_.size()) + " shards");
+  }
+  Shard& s = shards_[static_cast<size_t>(shard)];
+  io::StateImage image = MakeShardImage(shard);
+  image.state = CaptureEngineState(*s.engine, *s.classifier, s.detector.get());
+  std::string bytes = io::EncodeStateImage(image);
+  // Capture succeeded — only now stop the source, so a failed ship leaves
+  // the shard serving.
+  s.engine->Pause();
+  return bytes;
+}
+
+void ShardedMonitor::RestoreShard(int shard, const std::string& bytes) {
+  // Decode (and thereby fully validate) before taking any lock or
+  // touching the target shard: malformed bytes must leave it serving.
+  io::StateImage image = io::DecodeStateImage(bytes);
+  if (image.schema.num_features != schema_.num_features ||
+      image.schema.num_classes != schema_.num_classes) {
+    throw ApiError(
+        "ShardedMonitor::RestoreShard: image schema (" +
+        std::to_string(image.schema.num_features) + " features, " +
+        std::to_string(image.schema.num_classes) +
+        " classes) does not match this monitor (" +
+        std::to_string(schema_.num_features) + ", " +
+        std::to_string(schema_.num_classes) + ")");
+  }
+  runtime::Router::Exclusive exclusive = router_.LockTable();
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+    throw std::out_of_range("ShardedMonitor::RestoreShard: shard " +
+                            std::to_string(shard) + " not in a table of " +
+                            std::to_string(shards_.size()) + " shards");
+  }
+  Shard fresh;
+  fresh.classifier = std::move(image.state.classifier);
+  fresh.detector = std::move(image.state.detector);
+  fresh.engine = std::make_unique<MonitorEngine>(
+      schema_, fresh.classifier.get(), fresh.detector.get(), config_,
+      MakeShardHooks(shard), pending_capacity_);
+  fresh.engine->Restore(image.state.snapshot);  // Clears any pause state.
+  shards_[static_cast<size_t>(shard)] = std::move(fresh);
+}
 
 EngineSnapshot ShardedMonitor::ShardSnapshot(int shard) const {
   runtime::Router::Guard guard = router_.AcquireSlot(shard);

@@ -14,6 +14,9 @@
 #include "runtime/router.h"
 
 namespace ccd {
+namespace io {
+struct StateImage;  // io/state_codec.h — only the .cc depends on the io layer.
+}  // namespace io
 namespace api {
 
 /// Aggregate callbacks of a ShardedMonitor: the per-shard engine events
@@ -174,6 +177,50 @@ class ShardedMonitor {
   uint64_t evicted() const;
   uint64_t unmatched_labels() const;
 
+  // --- Durability (implemented on the io layer; see src/io/).
+
+  /// Atomically persists the complete monitor into `directory`: one
+  /// envelope-sealed state image per shard plus a manifest, written as a
+  /// new generation (`shard-<i>-g<N>.state`) with the manifest renamed
+  /// into place last — the commit point. A crash at any moment leaves the
+  /// directory openable at either the previous or the new generation,
+  /// never a torn mix; superseded generation files are deleted only after
+  /// the new manifest is durable. Takes the table exclusively (blocks
+  /// until in-flight pushes drain), so the persisted fleet is a
+  /// consistent cut. Throws io::WireError on I/O failure,
+  /// std::logic_error when a component does not implement SaveState().
+  void Persist(const std::string& directory);
+
+  /// Reopens a monitor persisted by Persist(): validates the manifest and
+  /// every shard file (size + CRC before decoding a byte), rebuilds the
+  /// components through the registries and restores their learned state.
+  /// Serving then continues bit-identically to the monitor that persisted
+  /// — tests/io_store_test.cc proves it across a SIGKILL. Hooks are not
+  /// persisted; pass them anew. Throws io::WireError on any corruption.
+  static ShardedMonitor Open(const std::string& directory,
+                             ShardedHooks hooks = {});
+
+  /// Envelope-sealed state image of one shard — a consistent copy taken
+  /// under the shard lock; the shard keeps serving. The bytes are what
+  /// RestoreShard() accepts, also across processes (io::MonitorService
+  /// SHIP/LOAD speak exactly this payload).
+  std::string SerializeShard(int shard) const;
+
+  /// SerializeShard() + Pause() on the source engine, atomically under
+  /// the exclusive table lock: the migration-source half of a shard
+  /// handoff. The shipped shard stops serving (pushes routed to it throw
+  /// std::logic_error) until the operator drains or restores it — exactly
+  /// one side of the handoff may accept traffic.
+  std::string ShipShard(int shard);
+
+  /// Replaces shard `shard` with the state image in `bytes` (the
+  /// migration-target half; the shard's previous state is discarded).
+  /// Validates the image before touching the shard: malformed bytes throw
+  /// io::WireError, a schema mismatch with this monitor throws ApiError,
+  /// and either way the failed restore is a no-op. Resumes serving
+  /// immediately (any persisted pause state is cleared).
+  void RestoreShard(int shard, const std::string& bytes);
+
  private:
   friend class ShardedMonitorBuilder;
 
@@ -191,6 +238,21 @@ class ShardedMonitor {
                  uint64_t seed, size_t pending_capacity, int shards,
                  runtime::RoutingMode mode, uint64_t merge_every,
                  ShardedHooks hooks);
+
+  /// Restore path of Open(): adopts one decoded state image per shard
+  /// instead of building fresh components. Defined in the .cc, where
+  /// io::StateImage is complete.
+  ShardedMonitor(const StreamSchema& schema, const PrequentialConfig& config,
+                 std::string classifier_name, ParamMap classifier_params,
+                 std::string detector_name, ParamMap detector_params,
+                 uint64_t seed, size_t pending_capacity,
+                 runtime::RoutingMode mode, uint64_t merge_every,
+                 ShardedHooks hooks, uint64_t completed_total,
+                 uint64_t generation, std::vector<io::StateImage>&& images);
+
+  /// The identity half of shard `shard`'s state image (seed_ + shard and
+  /// the registry names/params); the caller adds the captured state.
+  io::StateImage MakeShardImage(int shard) const;
 
   /// Builds shard `shard`'s fresh components + engine (seed_ + shard).
   Shard MakeShard(int shard) const;
@@ -224,6 +286,9 @@ class ShardedMonitor {
   /// table lock; shards_[i] is read under the table lock + slot i's lock.
   std::vector<Shard> shards_;
   std::atomic<uint64_t> completed_total_{0};
+  /// Generation of the last Persist() from this process (mutated under
+  /// the exclusive table lock; Open() resumes from the manifest's value).
+  uint64_t generation_ = 0;
 };
 
 /// Fluent composer of a ShardedMonitor, mirroring api::MonitorBuilder:

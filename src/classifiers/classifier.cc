@@ -10,6 +10,18 @@ std::unique_ptr<OnlineClassifier> OnlineClassifier::CloneState() const {
                          "participate in sharded evaluation / state handoff");
 }
 
+void OnlineClassifier::SaveState(io::Writer& /*writer*/) const {
+  throw std::logic_error("classifier '" + name() +
+                         "' does not implement SaveState(); it cannot be "
+                         "persisted or shipped across processes");
+}
+
+void OnlineClassifier::LoadState(io::Reader& /*reader*/) {
+  throw std::logic_error("classifier '" + name() +
+                         "' does not implement LoadState(); it cannot be "
+                         "restored from a snapshot");
+}
+
 int OnlineClassifier::Predict(const Instance& instance) const {
   std::vector<double> scores = PredictScores(instance);
   int best = 0;

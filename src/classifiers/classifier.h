@@ -8,6 +8,10 @@
 #include "stream/instance.h"
 
 namespace ccd {
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
 
 /// Interface of incremental (online) classifiers used as the drift
 /// detectors' backbone. The prequential protocol is test-then-train:
@@ -42,6 +46,17 @@ class OnlineClassifier {
   /// registered with the api layer implements it (the snapshot/restore
   /// property test loops over the registry to keep that true).
   virtual std::unique_ptr<OnlineClassifier> CloneState() const;
+
+  /// Serializes *all* learned state (parameters, weights, counters, RNG
+  /// cursors) to the versioned wire format — the durable sibling of
+  /// CloneState(): LoadState() on a freshly registry-constructed instance
+  /// of the same type must make its future behavior bit-identical to this
+  /// classifier's, across processes and machines. The defaults throw
+  /// std::logic_error naming the component; every registered classifier
+  /// implements both (the io round-trip property test loops over the
+  /// registry to keep that true).
+  virtual void SaveState(io::Writer& writer) const;
+  virtual void LoadState(io::Reader& reader);
 
   virtual std::string name() const = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/codecs.h"
 #include "stats/distributions.h"
 
 namespace ccd {
@@ -222,6 +223,116 @@ std::unique_ptr<OnlineClassifier> CsPerceptronTree::CloneState() const {
     copy->nodes_.push_back(std::move(n));
   }
   return copy;
+}
+
+void CsPerceptronTree::SaveState(io::Writer& w) const {
+  w.BeginSection("CSPerceptronTree");
+  io::WriteSchema(w, schema_);
+  w.I64(params_.grace_period);
+  w.F64(params_.split_confidence);
+  w.F64(params_.tie_threshold);
+  w.I64(params_.max_depth);
+  w.I64(params_.max_leaves);
+  w.F64(params_.leaf_params.learning_rate);
+  w.Bool(params_.leaf_params.cost_sensitive);
+  w.F64(params_.leaf_params.count_decay);
+  w.F64(params_.leaf_params.max_cost);
+  w.I64(num_leaves_);
+  w.U32(static_cast<uint32_t>(nodes_.size()));
+  for (const Node& node : nodes_) {
+    w.I64(node.feature);
+    w.F64(node.threshold);
+    w.I64(node.left);
+    w.I64(node.right);
+    w.I64(node.depth);
+    w.Bool(node.leaf != nullptr);
+    if (node.leaf == nullptr) continue;
+    w.F64Array(node.leaf->class_counts);
+    w.U32(static_cast<uint32_t>(node.leaf->feature_stats.size()));
+    for (const std::vector<Welford>& per_class : node.leaf->feature_stats) {
+      w.U32(static_cast<uint32_t>(per_class.size()));
+      for (const Welford& s : per_class) io::WriteWelford(w, s);
+    }
+    w.Bool(node.leaf->perceptron != nullptr);
+    if (node.leaf->perceptron != nullptr) {
+      node.leaf->perceptron->SaveState(w);
+    }
+    w.I64(node.leaf->since_split_check);
+    w.F64(node.leaf->total);
+  }
+  w.EndSection();
+}
+
+void CsPerceptronTree::LoadState(io::Reader& r) {
+  r.BeginSection("CSPerceptronTree");
+  schema_ = io::ReadSchema(r);
+  params_.grace_period = static_cast<int>(r.I64("tree.grace_period"));
+  params_.split_confidence = r.F64("tree.split_confidence");
+  params_.tie_threshold = r.F64("tree.tie_threshold");
+  params_.max_depth = static_cast<int>(r.I64("tree.max_depth"));
+  params_.max_leaves = static_cast<int>(r.I64("tree.max_leaves"));
+  params_.leaf_params.learning_rate = r.F64("tree.leaf.learning_rate");
+  params_.leaf_params.cost_sensitive = r.Bool("tree.leaf.cost_sensitive");
+  params_.leaf_params.count_decay = r.F64("tree.leaf.count_decay");
+  params_.leaf_params.max_cost = r.F64("tree.leaf.max_cost");
+  num_leaves_ = static_cast<int>(r.I64("tree.num_leaves"));
+  uint32_t count = r.Count("tree.nodes");
+  if (count == 0) r.Fail("tree.nodes", "a live tree always has a root");
+  nodes_.clear();
+  nodes_.reserve(count);
+  for (uint32_t idx = 0; idx < count; ++idx) {
+    Node n;
+    n.feature = static_cast<int>(r.I64("tree.node.feature"));
+    n.threshold = r.F64("tree.node.threshold");
+    n.left = static_cast<int>(r.I64("tree.node.left"));
+    n.right = static_cast<int>(r.I64("tree.node.right"));
+    n.depth = static_cast<int>(r.I64("tree.node.depth"));
+    if (n.feature >= schema_.num_features ||
+        n.left >= static_cast<int>(count) ||
+        n.right >= static_cast<int>(count)) {
+      r.Fail("tree.node.feature",
+             "node " + std::to_string(idx) + " references feature " +
+                 std::to_string(n.feature) + " / children " +
+                 std::to_string(n.left) + "," + std::to_string(n.right) +
+                 " out of range");
+    }
+    if (r.Bool("tree.node.has_leaf")) {
+      n.leaf = std::make_unique<Leaf>();
+      n.leaf->class_counts = r.F64Array("tree.leaf.class_counts");
+      if (n.leaf->class_counts.size() !=
+          static_cast<size_t>(schema_.num_classes)) {
+        r.Fail("tree.leaf.class_counts", "size does not match schema");
+      }
+      uint32_t d = r.Count("tree.leaf.feature_stats");
+      if (d != static_cast<uint32_t>(schema_.num_features)) {
+        r.Fail("tree.leaf.feature_stats",
+               std::to_string(d) + " feature rows, schema has " +
+                   std::to_string(schema_.num_features));
+      }
+      n.leaf->feature_stats.clear();
+      for (uint32_t i = 0; i < d; ++i) {
+        uint32_t k = r.Count("tree.leaf.feature_stats.row");
+        if (k != static_cast<uint32_t>(schema_.num_classes)) {
+          r.Fail("tree.leaf.feature_stats.row",
+                 "class column count does not match schema");
+        }
+        std::vector<Welford> per_class;
+        per_class.reserve(k);
+        for (uint32_t c = 0; c < k; ++c) per_class.push_back(io::ReadWelford(r));
+        n.leaf->feature_stats.push_back(std::move(per_class));
+      }
+      if (r.Bool("tree.leaf.has_perceptron")) {
+        n.leaf->perceptron =
+            std::make_unique<SoftmaxPerceptron>(schema_, params_.leaf_params);
+        n.leaf->perceptron->LoadState(r);
+      }
+      n.leaf->since_split_check =
+          static_cast<int>(r.I64("tree.leaf.since_split_check"));
+      n.leaf->total = r.F64("tree.leaf.total");
+    }
+    nodes_.push_back(std::move(n));
+  }
+  r.EndSection("CSPerceptronTree");
 }
 
 }  // namespace ccd

@@ -53,6 +53,10 @@ class CsPerceptronTree : public OnlineClassifier {
   /// estimators and trained leaf perceptrons.
   std::unique_ptr<OnlineClassifier> CloneState() const override;
   std::string name() const override { return "CSPerceptronTree"; }
+  /// Durable form of CloneState(): serializes node topology, per-leaf
+  /// Gaussian estimators and the trained leaf perceptrons.
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
   int num_leaves() const { return num_leaves_; }
   int depth() const;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "io/codecs.h"
+
 namespace ccd {
 
 GaussianNaiveBayes::GaussianNaiveBayes(const StreamSchema& schema)
@@ -57,6 +59,47 @@ std::vector<double> GaussianNaiveBayes::PredictScores(
 
 std::unique_ptr<OnlineClassifier> GaussianNaiveBayes::Clone() const {
   return std::make_unique<GaussianNaiveBayes>(schema_);
+}
+
+void GaussianNaiveBayes::SaveState(io::Writer& w) const {
+  w.BeginSection("GaussianNB");
+  io::WriteSchema(w, schema_);
+  w.U32(static_cast<uint32_t>(stats_.size()));
+  for (const std::vector<Welford>& row : stats_) {
+    w.U32(static_cast<uint32_t>(row.size()));
+    for (const Welford& s : row) io::WriteWelford(w, s);
+  }
+  w.F64Array(class_counts_);
+  w.F64(total_);
+  w.EndSection();
+}
+
+void GaussianNaiveBayes::LoadState(io::Reader& r) {
+  r.BeginSection("GaussianNB");
+  schema_ = io::ReadSchema(r);
+  uint32_t k = r.Count("nb.stats");
+  if (k != static_cast<uint32_t>(schema_.num_classes)) {
+    r.Fail("nb.stats", std::to_string(k) + " class rows, schema has " +
+                           std::to_string(schema_.num_classes));
+  }
+  stats_.clear();
+  for (uint32_t c = 0; c < k; ++c) {
+    uint32_t d = r.Count("nb.stats.row");
+    if (d != static_cast<uint32_t>(schema_.num_features)) {
+      r.Fail("nb.stats.row", std::to_string(d) + " features, schema has " +
+                                 std::to_string(schema_.num_features));
+    }
+    std::vector<Welford> row;
+    row.reserve(d);
+    for (uint32_t i = 0; i < d; ++i) row.push_back(io::ReadWelford(r));
+    stats_.push_back(std::move(row));
+  }
+  class_counts_ = r.F64Array("nb.class_counts");
+  if (class_counts_.size() != static_cast<size_t>(schema_.num_classes)) {
+    r.Fail("nb.class_counts", "size does not match schema");
+  }
+  total_ = r.F64("nb.total");
+  r.EndSection("GaussianNB");
 }
 
 }  // namespace ccd

@@ -26,6 +26,8 @@ class GaussianNaiveBayes : public OnlineClassifier {
     return std::make_unique<GaussianNaiveBayes>(*this);
   }
   std::string name() const override { return "GaussianNB"; }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
  private:
   StreamSchema schema_;

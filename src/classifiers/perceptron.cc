@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/codecs.h"
+
 namespace ccd {
 
 SoftmaxPerceptron::SoftmaxPerceptron(const StreamSchema& schema,
@@ -73,6 +75,52 @@ void SoftmaxPerceptron::Train(const Instance& instance) {
 
 std::unique_ptr<OnlineClassifier> SoftmaxPerceptron::Clone() const {
   return std::make_unique<SoftmaxPerceptron>(schema_, params_);
+}
+
+void SoftmaxPerceptron::SaveState(io::Writer& w) const {
+  w.BeginSection("SoftmaxPerceptron");
+  io::WriteSchema(w, schema_);
+  w.F64(params_.learning_rate);
+  w.Bool(params_.cost_sensitive);
+  w.F64(params_.count_decay);
+  w.F64(params_.max_cost);
+  w.U32(static_cast<uint32_t>(weights_.size()));
+  for (const std::vector<double>& row : weights_) w.F64Array(row);
+  w.F64Array(class_counts_);
+  w.F64(total_count_);
+  w.EndSection();
+}
+
+void SoftmaxPerceptron::LoadState(io::Reader& r) {
+  r.BeginSection("SoftmaxPerceptron");
+  schema_ = io::ReadSchema(r);
+  params_.learning_rate = r.F64("perceptron.learning_rate");
+  params_.cost_sensitive = r.Bool("perceptron.cost_sensitive");
+  params_.count_decay = r.F64("perceptron.count_decay");
+  params_.max_cost = r.F64("perceptron.max_cost");
+  uint32_t k = r.Count("perceptron.weights");
+  if (k != static_cast<uint32_t>(schema_.num_classes)) {
+    r.Fail("perceptron.weights", std::to_string(k) +
+                                     " weight rows, schema has " +
+                                     std::to_string(schema_.num_classes));
+  }
+  weights_.clear();
+  size_t width = static_cast<size_t>(schema_.num_features) + 1;
+  for (uint32_t c = 0; c < k; ++c) {
+    std::vector<double> row = r.F64Array("perceptron.weights.row");
+    if (row.size() != width) {
+      r.Fail("perceptron.weights.row",
+             "row has " + std::to_string(row.size()) + " entries, expected " +
+                 std::to_string(width));
+    }
+    weights_.push_back(std::move(row));
+  }
+  class_counts_ = r.F64Array("perceptron.class_counts");
+  if (class_counts_.size() != static_cast<size_t>(schema_.num_classes)) {
+    r.Fail("perceptron.class_counts", "size does not match schema");
+  }
+  total_count_ = r.F64("perceptron.total_count");
+  r.EndSection("SoftmaxPerceptron");
 }
 
 }  // namespace ccd

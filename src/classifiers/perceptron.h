@@ -39,6 +39,8 @@ class SoftmaxPerceptron : public OnlineClassifier {
     return std::make_unique<SoftmaxPerceptron>(*this);
   }
   std::string name() const override { return "SoftmaxPerceptron"; }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
   /// Cost weight currently applied to class k's updates.
   double CostWeight(int k) const;

@@ -7,6 +7,10 @@
 #include "utils/rng.h"
 
 namespace ccd {
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
 
 /// Skew-insensitive three-layer Restricted Boltzmann Machine (Sec. V-A of
 /// the paper): a visible layer v of V unit-interval units, a hidden layer h
@@ -88,6 +92,15 @@ class Rbm {
   const Params& params() const { return params_; }
   /// Decayed observation count of class y.
   double class_count(int y) const { return class_counts_[static_cast<size_t>(y)]; }
+
+  /// Serializes the complete model — parameters, every weight and bias,
+  /// the decayed class counts, and the RNG cursor (the CD-k Gibbs chain
+  /// must continue the exact deviate sequence after a restore).
+  void SaveState(io::Writer& writer) const;
+  /// Inverse of SaveState(); resizes all layers to the serialized
+  /// dimensions. Throws io::WireError when weight array sizes disagree
+  /// with the serialized layer dimensions.
+  void LoadState(io::Reader& reader);
 
  private:
   double& W(int i, int j) { return w_[static_cast<size_t>(i) * params_.hidden + j]; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/codecs.h"
 #include "stats/granger.h"
 
 namespace ccd {
@@ -68,6 +69,138 @@ std::unique_ptr<DriftDetector> RbmIm::CloneState() const {
     dst.batches_seen = src.batches_seen;
   }
   return copy;
+}
+
+void RbmIm::SaveState(io::Writer& w) const {
+  w.BeginSection("RBM-IM");
+  w.I64(params_.num_features);
+  w.I64(params_.num_classes);
+  w.I64(params_.batch_size);
+  w.F64(params_.hidden_ratio);
+  w.F64(params_.learning_rate);
+  w.I64(params_.cd_steps);
+  w.Bool(params_.class_balanced);
+  w.F64(params_.beta);
+  w.U8(static_cast<uint8_t>(params_.trigger));
+  w.F64(params_.jump_sigmas);
+  w.F64(params_.cusum_slack);
+  w.F64(params_.cusum_threshold);
+  w.F64(params_.baseline_decay);
+  w.F64(params_.sigma_floor);
+  w.I64(params_.granger_window);
+  w.I64(params_.granger_lag);
+  w.F64(params_.granger_alpha);
+  w.F64(params_.slope_sigmas);
+  w.F64(params_.adwin_delta);
+  w.I64(params_.min_batches);
+  w.I64(params_.warmup_batches);
+  w.I64(params_.trend_window_min);
+  w.I64(params_.trend_window_max);
+  w.I64(params_.post_drift_boost);
+  w.I64(params_.eval_pool);
+  w.U64(seed_);
+  rbm_->SaveState(w);
+  io::WriteNormalizer(w, normalizer_);
+  w.U32(static_cast<uint32_t>(pending_.size()));
+  for (const Instance& x : pending_) io::WriteInstance(w, x);
+  w.U32(static_cast<uint32_t>(monitors_.size()));
+  for (const ClassMonitor& m : monitors_) {
+    w.U32(static_cast<uint32_t>(m.recent.size()));
+    for (const std::vector<double>& x : m.recent) w.F64Array(x);
+    m.adwin->SaveState(w);
+    io::WriteTrend(w, *m.trend);
+    io::WriteF64Deque(w, m.trend_history);
+    io::WriteWelford(w, m.slope_stats);
+    w.F64(m.baseline.mean);
+    w.F64(m.baseline.var);
+    w.I64(m.baseline.n);
+    w.F64(m.cusum);
+    w.F64(m.last_r);
+    w.F64(m.last_z);
+    w.I64(m.batches_seen);
+  }
+  io::WriteDetectorState(w, state_);
+  io::WriteIntVector(w, drifted_);
+  w.U64(batches_);
+  w.EndSection();
+}
+
+void RbmIm::LoadState(io::Reader& r) {
+  r.BeginSection("RBM-IM");
+  Params p;
+  p.num_features = static_cast<int>(r.I64("rbm_im.num_features"));
+  p.num_classes = static_cast<int>(r.I64("rbm_im.num_classes"));
+  p.batch_size = static_cast<int>(r.I64("rbm_im.batch_size"));
+  p.hidden_ratio = r.F64("rbm_im.hidden_ratio");
+  p.learning_rate = r.F64("rbm_im.learning_rate");
+  p.cd_steps = static_cast<int>(r.I64("rbm_im.cd_steps"));
+  p.class_balanced = r.Bool("rbm_im.class_balanced");
+  p.beta = r.F64("rbm_im.beta");
+  uint8_t trigger = r.U8("rbm_im.trigger");
+  if (trigger > static_cast<uint8_t>(Trigger::kGranger)) {
+    r.Fail("rbm_im.trigger", "invalid trigger value " + std::to_string(trigger));
+  }
+  p.trigger = static_cast<Trigger>(trigger);
+  p.jump_sigmas = r.F64("rbm_im.jump_sigmas");
+  p.cusum_slack = r.F64("rbm_im.cusum_slack");
+  p.cusum_threshold = r.F64("rbm_im.cusum_threshold");
+  p.baseline_decay = r.F64("rbm_im.baseline_decay");
+  p.sigma_floor = r.F64("rbm_im.sigma_floor");
+  p.granger_window = static_cast<int>(r.I64("rbm_im.granger_window"));
+  p.granger_lag = static_cast<int>(r.I64("rbm_im.granger_lag"));
+  p.granger_alpha = r.F64("rbm_im.granger_alpha");
+  p.slope_sigmas = r.F64("rbm_im.slope_sigmas");
+  p.adwin_delta = r.F64("rbm_im.adwin_delta");
+  p.min_batches = static_cast<int>(r.I64("rbm_im.min_batches"));
+  p.warmup_batches = static_cast<int>(r.I64("rbm_im.warmup_batches"));
+  p.trend_window_min = static_cast<int>(r.I64("rbm_im.trend_window_min"));
+  p.trend_window_max = static_cast<int>(r.I64("rbm_im.trend_window_max"));
+  p.post_drift_boost = static_cast<int>(r.I64("rbm_im.post_drift_boost"));
+  p.eval_pool = static_cast<int>(r.I64("rbm_im.eval_pool"));
+  if (p.num_features <= 0 || p.num_classes <= 0 || p.batch_size <= 0) {
+    r.Fail("rbm_im.num_features", "non-positive dimension");
+  }
+  params_ = p;
+  seed_ = r.U64("rbm_im.seed");
+  // Rebuild the component skeleton for the serialized dimensions (fresh
+  // RBM, normalizer, per-class monitors), then overwrite every piece of
+  // adaptive state from the wire.
+  Reset();
+  rbm_->LoadState(r);
+  io::ReadNormalizerInto(r, &normalizer_);
+  uint32_t npending = r.Count("rbm_im.pending");
+  pending_.clear();
+  for (uint32_t i = 0; i < npending; ++i) {
+    pending_.push_back(io::ReadInstance(r));
+  }
+  uint32_t nmonitors = r.Count("rbm_im.monitors");
+  if (nmonitors != monitors_.size()) {
+    r.Fail("rbm_im.monitors",
+           std::to_string(nmonitors) + " monitors serialized, schema has " +
+               std::to_string(monitors_.size()) + " classes");
+  }
+  for (ClassMonitor& m : monitors_) {
+    uint32_t nrecent = r.Count("rbm_im.monitor.recent");
+    m.recent.clear();
+    for (uint32_t i = 0; i < nrecent; ++i) {
+      m.recent.push_back(r.F64Array("rbm_im.monitor.recent_instance"));
+    }
+    m.adwin->LoadState(r);
+    io::ReadTrendInto(r, m.trend.get());
+    m.trend_history = io::ReadF64Deque(r, "rbm_im.monitor.trend_history");
+    m.slope_stats = io::ReadWelford(r);
+    m.baseline.mean = r.F64("rbm_im.monitor.baseline_mean");
+    m.baseline.var = r.F64("rbm_im.monitor.baseline_var");
+    m.baseline.n = r.I64("rbm_im.monitor.baseline_n");
+    m.cusum = r.F64("rbm_im.monitor.cusum");
+    m.last_r = r.F64("rbm_im.monitor.last_r");
+    m.last_z = r.F64("rbm_im.monitor.last_z");
+    m.batches_seen = static_cast<int>(r.I64("rbm_im.monitor.batches_seen"));
+  }
+  state_ = io::ReadDetectorState(r, "rbm_im.state");
+  drifted_ = io::ReadIntVector(r, "rbm_im.drifted");
+  batches_ = r.U64("rbm_im.batches");
+  r.EndSection("RBM-IM");
 }
 
 void RbmIm::ResetMonitor(ClassMonitor* m) {

@@ -99,6 +99,11 @@ class RbmIm : public DriftDetector {
   /// every per-class monitor (ADWIN, trend window, baselines) — so the
   /// copy's future batch decisions are bit-identical.
   std::unique_ptr<DriftDetector> CloneState() const override;
+  /// Durable form of CloneState(): writes the RBM (weights + RNG cursor),
+  /// normalizer bounds, pending mini-batch, and every per-class monitor
+  /// (ADWIN buckets, trend sums, baselines, CUSUM) to the wire format.
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
   /// Introspection for tests and diagnostics.
   const Rbm& rbm() const { return *rbm_; }

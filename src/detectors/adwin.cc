@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "io/codecs.h"
+
 namespace ccd {
 
 void Adwin::Reset() {
@@ -101,6 +103,57 @@ bool Adwin::DetectCut() {
     }
   }
   return false;
+}
+
+void Adwin::SaveState(io::Writer& w) const {
+  w.BeginSection("ADWIN");
+  w.F64(params_.delta);
+  w.I64(params_.max_buckets);
+  w.I64(params_.min_window);
+  w.I64(params_.check_interval);
+  io::WriteDetectorState(w, state_);
+  w.U32(static_cast<uint32_t>(rows_.size()));
+  for (const std::deque<Bucket>& row : rows_) {
+    w.U32(static_cast<uint32_t>(row.size()));
+    for (const Bucket& b : row) {
+      w.F64(b.sum);
+      w.F64(b.variance_sum);
+      w.I64(b.count);
+    }
+  }
+  w.F64(total_sum_);
+  w.F64(total_var_);
+  w.I64(total_count_);
+  w.I64(since_check_);
+  w.EndSection();
+}
+
+void Adwin::LoadState(io::Reader& r) {
+  r.BeginSection("ADWIN");
+  params_.delta = r.F64("adwin.delta");
+  params_.max_buckets = static_cast<int>(r.I64("adwin.max_buckets"));
+  params_.min_window = static_cast<int>(r.I64("adwin.min_window"));
+  params_.check_interval = static_cast<int>(r.I64("adwin.check_interval"));
+  state_ = io::ReadDetectorState(r, "adwin.state");
+  uint32_t nrows = r.Count("adwin.rows");
+  if (nrows == 0) r.Fail("adwin.rows", "a live ADWIN always has row 0");
+  rows_.clear();
+  for (uint32_t i = 0; i < nrows; ++i) {
+    rows_.emplace_back();
+    uint32_t nbuckets = r.Count("adwin.row");
+    for (uint32_t j = 0; j < nbuckets; ++j) {
+      Bucket b;
+      b.sum = r.F64("adwin.bucket.sum");
+      b.variance_sum = r.F64("adwin.bucket.variance_sum");
+      b.count = r.I64("adwin.bucket.count");
+      rows_.back().push_back(b);
+    }
+  }
+  total_sum_ = r.F64("adwin.total_sum");
+  total_var_ = r.F64("adwin.total_var");
+  total_count_ = r.I64("adwin.total_count");
+  since_check_ = r.I64("adwin.since_check");
+  r.EndSection("ADWIN");
 }
 
 }  // namespace ccd

@@ -39,6 +39,8 @@ class Adwin : public ErrorRateDetector {
   std::unique_ptr<DriftDetector> CloneState() const override {
     return std::make_unique<Adwin>(*this);
   }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
   /// Current adaptive window length.
   long long width() const { return total_count_; }

@@ -46,6 +46,8 @@ class DdmOci : public DriftDetector {
   std::unique_ptr<DriftDetector> CloneState() const override {
     return std::make_unique<DdmOci>(*this);
   }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
   /// Current decayed recall of class k (exposed for tests/diagnostics).
   double recall(int k) const { return recall_[static_cast<size_t>(k)]; }

@@ -10,6 +10,18 @@ std::unique_ptr<DriftDetector> DriftDetector::CloneState() const {
                          "participate in sharded evaluation / state handoff");
 }
 
+void DriftDetector::SaveState(io::Writer& /*writer*/) const {
+  throw std::logic_error("detector '" + name() +
+                         "' does not implement SaveState(); it cannot be "
+                         "persisted or shipped across processes");
+}
+
+void DriftDetector::LoadState(io::Reader& /*reader*/) {
+  throw std::logic_error("detector '" + name() +
+                         "' does not implement LoadState(); it cannot be "
+                         "restored from a snapshot");
+}
+
 const char* DetectorStateName(DetectorState s) {
   switch (s) {
     case DetectorState::kStable:

@@ -8,6 +8,10 @@
 #include "stream/instance.h"
 
 namespace ccd {
+namespace io {
+class Writer;
+class Reader;
+}  // namespace io
 
 /// Detector status after the most recent observation.
 enum class DetectorState {
@@ -54,6 +58,17 @@ class DriftDetector {
   /// snapshot/restore property test loops over the registry to keep that
   /// true). Value-semantic detectors implement it as a one-line copy.
   virtual std::unique_ptr<DriftDetector> CloneState() const;
+
+  /// Serializes *all* adaptive statistics (parameters, windows, counters,
+  /// RNG cursors) to the versioned wire format — the durable sibling of
+  /// CloneState(): LoadState() on a freshly registry-constructed instance
+  /// of the same type must make its future Observe()/state() behavior
+  /// bit-identical to this detector's, across processes and machines. The
+  /// defaults throw std::logic_error naming the component; every
+  /// registered detector implements both (the io round-trip property test
+  /// loops over the registry to keep that true).
+  virtual void SaveState(io::Writer& writer) const;
+  virtual void LoadState(io::Reader& reader);
 
   virtual std::string name() const = 0;
 

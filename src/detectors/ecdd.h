@@ -29,6 +29,8 @@ class Ecdd : public ErrorRateDetector {
   std::unique_ptr<DriftDetector> CloneState() const override {
     return std::make_unique<Ecdd>(*this);
   }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
  private:
   Params params_;

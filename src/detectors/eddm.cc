@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "io/codecs.h"
+
 namespace ccd {
 
 void Eddm::Reset() {
@@ -47,6 +49,36 @@ void Eddm::AddError(bool error) {
   } else {
     state_ = DetectorState::kStable;
   }
+}
+
+void Eddm::SaveState(io::Writer& w) const {
+  w.BeginSection("EDDM");
+  w.F64(params_.alpha);
+  w.F64(params_.beta);
+  w.I64(params_.min_errors);
+  io::WriteDetectorState(w, state_);
+  w.I64(instances_);
+  w.I64(last_error_at_);
+  w.I64(num_errors_);
+  w.F64(dist_mean_);
+  w.F64(dist_m2_);
+  w.F64(max_stat_);
+  w.EndSection();
+}
+
+void Eddm::LoadState(io::Reader& r) {
+  r.BeginSection("EDDM");
+  params_.alpha = r.F64("eddm.alpha");
+  params_.beta = r.F64("eddm.beta");
+  params_.min_errors = static_cast<int>(r.I64("eddm.min_errors"));
+  state_ = io::ReadDetectorState(r, "eddm.state");
+  instances_ = r.I64("eddm.instances");
+  last_error_at_ = r.I64("eddm.last_error_at");
+  num_errors_ = r.I64("eddm.num_errors");
+  dist_mean_ = r.F64("eddm.dist_mean");
+  dist_m2_ = r.F64("eddm.dist_m2");
+  max_stat_ = r.F64("eddm.max_stat");
+  r.EndSection("EDDM");
 }
 
 }  // namespace ccd

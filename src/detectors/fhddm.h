@@ -31,6 +31,8 @@ class Fhddm : public ErrorRateDetector {
   std::unique_ptr<DriftDetector> CloneState() const override {
     return std::make_unique<Fhddm>(*this);
   }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
  private:
   Params params_;

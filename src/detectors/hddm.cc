@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "io/codecs.h"
+
 namespace ccd {
 
 void HddmA::Reset() {
@@ -47,6 +49,34 @@ void HddmA::AddError(bool error) {
   } else {
     state_ = DetectorState::kStable;
   }
+}
+
+void HddmA::SaveState(io::Writer& w) const {
+  w.BeginSection("HDDM-A");
+  w.F64(params_.drift_confidence);
+  w.F64(params_.warning_confidence);
+  w.I64(params_.min_instances);
+  io::WriteDetectorState(w, state_);
+  w.F64(n_);
+  w.F64(sum_);
+  w.F64(n_min_);
+  w.F64(sum_min_);
+  w.F64(best_bound_);
+  w.EndSection();
+}
+
+void HddmA::LoadState(io::Reader& r) {
+  r.BeginSection("HDDM-A");
+  params_.drift_confidence = r.F64("hddm.drift_confidence");
+  params_.warning_confidence = r.F64("hddm.warning_confidence");
+  params_.min_instances = static_cast<int>(r.I64("hddm.min_instances"));
+  state_ = io::ReadDetectorState(r, "hddm.state");
+  n_ = r.F64("hddm.n");
+  sum_ = r.F64("hddm.sum");
+  n_min_ = r.F64("hddm.n_min");
+  sum_min_ = r.F64("hddm.sum_min");
+  best_bound_ = r.F64("hddm.best_bound");
+  r.EndSection("HDDM-A");
 }
 
 }  // namespace ccd

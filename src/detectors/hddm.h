@@ -30,6 +30,8 @@ class HddmA : public ErrorRateDetector {
   std::unique_ptr<DriftDetector> CloneState() const override {
     return std::make_unique<HddmA>(*this);
   }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
  private:
   double Bound(double n, double confidence) const;

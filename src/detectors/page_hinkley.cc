@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "io/codecs.h"
+
 namespace ccd {
 
 void PageHinkley::Reset() {
@@ -33,6 +35,34 @@ void PageHinkley::AddError(bool error) {
   } else {
     state_ = DetectorState::kStable;
   }
+}
+
+void PageHinkley::SaveState(io::Writer& w) const {
+  w.BeginSection("PageHinkley");
+  w.F64(params_.delta);
+  w.F64(params_.lambda);
+  w.F64(params_.alpha);
+  w.I64(params_.min_instances);
+  io::WriteDetectorState(w, state_);
+  w.I64(n_);
+  w.F64(mean_);
+  w.F64(cumulative_);
+  w.F64(min_cumulative_);
+  w.EndSection();
+}
+
+void PageHinkley::LoadState(io::Reader& r) {
+  r.BeginSection("PageHinkley");
+  params_.delta = r.F64("ph.delta");
+  params_.lambda = r.F64("ph.lambda");
+  params_.alpha = r.F64("ph.alpha");
+  params_.min_instances = static_cast<int>(r.I64("ph.min_instances"));
+  state_ = io::ReadDetectorState(r, "ph.state");
+  n_ = r.I64("ph.n");
+  mean_ = r.F64("ph.mean");
+  cumulative_ = r.F64("ph.cumulative");
+  min_cumulative_ = r.F64("ph.min_cumulative");
+  r.EndSection("PageHinkley");
 }
 
 }  // namespace ccd

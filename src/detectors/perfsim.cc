@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "io/codecs.h"
+
 namespace ccd {
 
 void PerfSim::Reset() {
@@ -77,6 +79,45 @@ void PerfSim::Observe(const Instance& instance, int predicted,
   current_.assign(current_.size(), 0.0);
   in_chunk_ = 0;
   chunk_errors_ = 0;
+}
+
+void PerfSim::SaveState(io::Writer& w) const {
+  w.BeginSection("PerfSim");
+  w.I64(params_.num_classes);
+  w.I64(params_.chunk_size);
+  w.F64(params_.differentiation_weight);
+  w.I64(params_.min_errors);
+  io::WriteDetectorState(w, state_);
+  w.F64Array(reference_);
+  w.F64Array(current_);
+  w.I64(in_chunk_);
+  w.I64(chunk_errors_);
+  w.Bool(has_reference_);
+  io::WriteIntVector(w, drifted_);
+  w.EndSection();
+}
+
+void PerfSim::LoadState(io::Reader& r) {
+  r.BeginSection("PerfSim");
+  params_.num_classes = static_cast<int>(r.I64("perfsim.num_classes"));
+  params_.chunk_size = static_cast<int>(r.I64("perfsim.chunk_size"));
+  params_.differentiation_weight = r.F64("perfsim.differentiation_weight");
+  params_.min_errors = static_cast<int>(r.I64("perfsim.min_errors"));
+  state_ = io::ReadDetectorState(r, "perfsim.state");
+  reference_ = r.F64Array("perfsim.reference");
+  current_ = r.F64Array("perfsim.current");
+  size_t cells = static_cast<size_t>(params_.num_classes) *
+                 static_cast<size_t>(params_.num_classes);
+  if (reference_.size() != cells || current_.size() != cells) {
+    r.Fail("perfsim.reference",
+           "confusion matrix has " + std::to_string(reference_.size()) +
+               " cells, expected " + std::to_string(cells));
+  }
+  in_chunk_ = static_cast<int>(r.I64("perfsim.in_chunk"));
+  chunk_errors_ = static_cast<int>(r.I64("perfsim.chunk_errors"));
+  has_reference_ = r.Bool("perfsim.has_reference");
+  drifted_ = io::ReadIntVector(r, "perfsim.drifted");
+  r.EndSection("PerfSim");
 }
 
 }  // namespace ccd

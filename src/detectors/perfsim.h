@@ -36,6 +36,8 @@ class PerfSim : public DriftDetector {
   std::unique_ptr<DriftDetector> CloneState() const override {
     return std::make_unique<PerfSim>(*this);
   }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
  private:
   static double CosineSimilarity(const std::vector<double>& a,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "io/codecs.h"
+
 namespace ccd {
 
 void Rddm::Reset() {
@@ -89,6 +91,54 @@ void Rddm::AddError(bool error) {
     state_ = DetectorState::kStable;
     warn_count_ = 0;
   }
+}
+
+void Rddm::SaveState(io::Writer& w) const {
+  w.BeginSection("RDDM");
+  w.F64(params_.warning_level);
+  w.F64(params_.drift_level);
+  w.I64(params_.min_errors);
+  w.I64(params_.min_instances);
+  w.I64(params_.max_instances);
+  w.I64(params_.warn_limit);
+  io::WriteDetectorState(w, state_);
+  w.I64(n_);
+  w.I64(errors_);
+  w.F64(p_);
+  w.F64(p_min_);
+  w.F64(s_min_);
+  w.I64(warn_count_);
+  io::WriteBoolVector(w, recent_);
+  w.U64(recent_pos_);
+  w.Bool(recent_full_);
+  w.EndSection();
+}
+
+void Rddm::LoadState(io::Reader& r) {
+  r.BeginSection("RDDM");
+  params_.warning_level = r.F64("rddm.warning_level");
+  params_.drift_level = r.F64("rddm.drift_level");
+  params_.min_errors = static_cast<int>(r.I64("rddm.min_errors"));
+  params_.min_instances = static_cast<int>(r.I64("rddm.min_instances"));
+  params_.max_instances = static_cast<int>(r.I64("rddm.max_instances"));
+  params_.warn_limit = static_cast<int>(r.I64("rddm.warn_limit"));
+  state_ = io::ReadDetectorState(r, "rddm.state");
+  n_ = r.I64("rddm.n");
+  errors_ = r.I64("rddm.errors");
+  p_ = r.F64("rddm.p");
+  p_min_ = r.F64("rddm.p_min");
+  s_min_ = r.F64("rddm.s_min");
+  warn_count_ = static_cast<int>(r.I64("rddm.warn_count"));
+  recent_ = io::ReadBoolVector(r, "rddm.recent");
+  uint64_t pos = r.U64("rddm.recent_pos");
+  if (recent_.empty() || pos >= recent_.size()) {
+    r.Fail("rddm.recent_pos",
+           "cursor " + std::to_string(pos) + " outside circular buffer of " +
+               std::to_string(recent_.size()));
+  }
+  recent_pos_ = static_cast<size_t>(pos);
+  recent_full_ = r.Bool("rddm.recent_full");
+  r.EndSection("RDDM");
 }
 
 }  // namespace ccd

@@ -35,6 +35,8 @@ class Rddm : public ErrorRateDetector {
   std::unique_ptr<DriftDetector> CloneState() const override {
     return std::make_unique<Rddm>(*this);
   }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
  private:
   void SoftReset();

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "io/codecs.h"
 #include "stats/wilcoxon.h"
 
 namespace ccd {
@@ -45,6 +46,32 @@ void Wstd::AddError(bool error) {
   } else {
     state_ = DetectorState::kStable;
   }
+}
+
+void Wstd::SaveState(io::Writer& w) const {
+  w.BeginSection("WSTD");
+  w.I64(params_.window_size);
+  w.F64(params_.warning_significance);
+  w.F64(params_.drift_significance);
+  w.I64(params_.max_old_instances);
+  w.I64(params_.check_interval);
+  io::WriteDetectorState(w, state_);
+  io::WriteF64Deque(w, history_);
+  w.I64(since_check_);
+  w.EndSection();
+}
+
+void Wstd::LoadState(io::Reader& r) {
+  r.BeginSection("WSTD");
+  params_.window_size = static_cast<int>(r.I64("wstd.window_size"));
+  params_.warning_significance = r.F64("wstd.warning_significance");
+  params_.drift_significance = r.F64("wstd.drift_significance");
+  params_.max_old_instances = static_cast<int>(r.I64("wstd.max_old_instances"));
+  params_.check_interval = static_cast<int>(r.I64("wstd.check_interval"));
+  state_ = io::ReadDetectorState(r, "wstd.state");
+  history_ = io::ReadF64Deque(r, "wstd.history");
+  since_check_ = static_cast<int>(r.I64("wstd.since_check"));
+  r.EndSection("WSTD");
 }
 
 }  // namespace ccd

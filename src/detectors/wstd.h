@@ -37,6 +37,8 @@ class Wstd : public ErrorRateDetector {
   std::unique_ptr<DriftDetector> CloneState() const override {
     return std::make_unique<Wstd>(*this);
   }
+  void SaveState(io::Writer& writer) const override;
+  void LoadState(io::Reader& reader) override;
 
  private:
   Params params_;

@@ -20,6 +20,17 @@ namespace ccd {
 /// unit the future "one engine per shard, router above" serving design
 /// will ship between workers.
 struct EngineState {
+  EngineState() = default;
+  /// Explicitly move-only: an EngineState is a *handoff token* — exactly
+  /// one engine may own (and mutate) the component clones it carries.
+  /// Copying would silently alias live classifiers across shards; the
+  /// deleted copy operations turn that bug into a compile error
+  /// (tests/sharded_test.cc pins this down with static_asserts).
+  EngineState(EngineState&&) = default;
+  EngineState& operator=(EngineState&&) = default;
+  EngineState(const EngineState&) = delete;
+  EngineState& operator=(const EngineState&) = delete;
+
   EngineSnapshot snapshot;
   std::unique_ptr<OnlineClassifier> classifier;
   std::unique_ptr<DriftDetector> detector;  ///< Null when no detector runs.

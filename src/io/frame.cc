@@ -1,0 +1,99 @@
+#include "io/frame.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/wire.h"
+
+namespace ccd {
+namespace io {
+
+namespace {
+
+/// Reads exactly `size` bytes. Returns false on EOF before the first
+/// byte (clean close); throws on EOF after a partial read or on error.
+bool ReadExact(int fd, char* data, size_t size, const char* what) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(what, done,
+                      std::string("frame read failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (done == 0) return false;
+      throw WireError(what, done,
+                      "peer closed mid-frame (" + std::to_string(done) +
+                          " of " + std::to_string(size) + " bytes)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SendAll(int fd, const char* data, size_t size, const char* what) {
+  size_t done = 0;
+  while (done < size) {
+    // send() for MSG_NOSIGNAL; fall back to write() for non-socket fds
+    // (pipes in tests), which report ENOTSOCK.
+    ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data + done, size - done);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(what, done,
+                      std::string("frame write failed: ") +
+                          std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool ReadFrame(int fd, std::string* payload) {
+  unsigned char prefix[4];
+  if (!ReadExact(fd, reinterpret_cast<char*>(prefix), 4, "frame.length")) {
+    return false;
+  }
+  const uint32_t length = static_cast<uint32_t>(prefix[0]) |
+                          static_cast<uint32_t>(prefix[1]) << 8 |
+                          static_cast<uint32_t>(prefix[2]) << 16 |
+                          static_cast<uint32_t>(prefix[3]) << 24;
+  if (length > kMaxLengthPrefix) {
+    throw WireError("frame.length", 0,
+                    "oversized frame (" + std::to_string(length) +
+                        " bytes, cap " + std::to_string(kMaxLengthPrefix) +
+                        ")");
+  }
+  payload->resize(length);
+  if (length > 0 &&
+      !ReadExact(fd, &(*payload)[0], length, "frame.payload")) {
+    throw WireError("frame.payload", 0, "peer closed between length and body");
+  }
+  return true;
+}
+
+void WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxLengthPrefix) {
+    throw WireError("frame.length", 0,
+                    "refusing to send oversized frame (" +
+                        std::to_string(payload.size()) + " bytes)");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(length & 0xFF),
+                    static_cast<char>((length >> 8) & 0xFF),
+                    static_cast<char>((length >> 16) & 0xFF),
+                    static_cast<char>((length >> 24) & 0xFF)};
+  SendAll(fd, prefix, 4, "frame.length");
+  SendAll(fd, payload.data(), payload.size(), "frame.payload");
+}
+
+}  // namespace io
+}  // namespace ccd

@@ -1,0 +1,32 @@
+#ifndef CCD_IO_FRAME_H_
+#define CCD_IO_FRAME_H_
+
+#include <string>
+
+namespace ccd {
+namespace io {
+
+/// Length-prefixed framing over a byte-stream file descriptor (a
+/// connected socket or a pipe): every frame is [u32 length,
+/// little-endian][payload]. The same kMaxLengthPrefix cap as the wire
+/// format bounds a frame, so a hostile or corrupted peer cannot make the
+/// reader allocate unbounded memory.
+///
+/// Both directions loop over partial transfers and EINTR; WriteFrame
+/// additionally suppresses SIGPIPE (MSG_NOSIGNAL), so a peer that hangs
+/// up mid-write surfaces as a WireError instead of killing the process.
+
+/// Reads one complete frame into `payload`. Returns false on clean EOF
+/// *at a frame boundary* (the peer closed after a whole frame); EOF
+/// mid-frame, an oversized length prefix, or a read error throw
+/// WireError.
+bool ReadFrame(int fd, std::string* payload);
+
+/// Writes one complete frame. Throws WireError on an oversized payload
+/// or a write/connection error.
+void WriteFrame(int fd, const std::string& payload);
+
+}  // namespace io
+}  // namespace ccd
+
+#endif  // CCD_IO_FRAME_H_

@@ -1,0 +1,169 @@
+#include "io/frame_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "io/frame.h"
+#include "io/wire.h"
+
+namespace ccd {
+namespace io {
+
+namespace {
+
+int MakeUnixSocket(const std::string& path) {
+  sockaddr_un addr;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw WireError(path, 0,
+                    "unix socket path must be 1.." +
+                        std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw WireError(path, 0,
+                    std::string("socket() failed: ") + std::strerror(errno));
+  }
+  return fd;
+}
+
+void FillAddr(sockaddr_un* addr, const std::string& path) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+}
+
+}  // namespace
+
+FrameServer::FrameServer(std::string socket_path, Handler handler,
+                         runtime::ThreadPool* pool)
+    : path_(std::move(socket_path)), handler_(std::move(handler)) {
+  if (pool == nullptr) {
+    owned_pool_ = std::make_unique<runtime::ThreadPool>(4);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = pool;
+  }
+  listen_fd_ = MakeUnixSocket(path_);
+  // A stale socket file from a crashed predecessor must not block the
+  // restart path this subsystem exists for.
+  ::unlink(path_.c_str());
+  sockaddr_un addr;
+  FillAddr(&addr, path_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    throw WireError(path_, 0,
+                    std::string("bind() failed: ") + std::strerror(saved));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+    throw WireError(path_, 0,
+                    std::string("listen() failed: ") + std::strerror(saved));
+  }
+  accept_thread_ = std::make_unique<std::thread>([this] { AcceptLoop(); });
+}
+
+FrameServer::~FrameServer() { Stop(); }
+
+void FrameServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // shutdown(listen_fd_) from Stop() lands here.
+      return;
+    }
+    if (!TrackConnection(fd)) {
+      ::close(fd);
+      return;
+    }
+    pool_->Submit([this, fd] { Serve(fd); });
+  }
+}
+
+bool FrameServer::TrackConnection(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load()) return false;
+  connections_.push_back(fd);
+  return true;
+}
+
+void FrameServer::UntrackConnection(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i] == fd) {
+      connections_.erase(connections_.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+}
+
+void FrameServer::Serve(int fd) {
+  try {
+    std::string request;
+    while (ReadFrame(fd, &request)) {
+      WriteFrame(fd, handler_(request));
+    }
+  } catch (...) {
+    // A torn frame, hung-up peer, or throwing handler ends *this*
+    // connection; the server keeps accepting.
+  }
+  UntrackConnection(fd);
+  ::close(fd);
+}
+
+void FrameServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_ && accept_thread_->joinable()) accept_thread_->join();
+    return;
+  }
+  // Wake the listener and every blocked connection read; the fds are
+  // closed by their owners (AcceptLoop / Serve) once they observe EOF.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_ && accept_thread_->joinable()) accept_thread_->join();
+  pool_->Wait();  // Every Serve() task has untracked + closed its fd.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(path_.c_str());
+}
+
+FrameClient::FrameClient(const std::string& socket_path) {
+  fd_ = MakeUnixSocket(socket_path);
+  sockaddr_un addr;
+  FillAddr(&addr, socket_path);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw WireError(socket_path, 0,
+                    std::string("connect() failed: ") + std::strerror(saved));
+  }
+}
+
+FrameClient::~FrameClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string FrameClient::Call(const std::string& request) {
+  WriteFrame(fd_, request);
+  std::string response;
+  if (!ReadFrame(fd_, &response)) {
+    throw WireError("frame.response", 0, "server closed the connection");
+  }
+  return response;
+}
+
+}  // namespace io
+}  // namespace ccd

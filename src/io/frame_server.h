@@ -1,0 +1,97 @@
+#ifndef CCD_IO_FRAME_SERVER_H_
+#define CCD_IO_FRAME_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace ccd {
+namespace io {
+
+/// Framed request/response server over a Unix-domain socket: accepts
+/// connections on a blocking listener thread and serves each connection
+/// on a runtime::ThreadPool worker, reading one frame (io/frame.h),
+/// handing it to the handler, and writing the handler's return as the
+/// response frame — strict one-in-one-out per connection, which is all a
+/// monitoring front door needs and keeps the protocol trivially
+/// debuggable with FrameClient.
+///
+/// A handler that throws closes that connection (the error is the
+/// *connection's*, not the server's); protocol-level errors should be
+/// encoded in the response payload instead (io::MonitorService returns
+/// "ERR <message>"). Handlers run concurrently on pool workers — the
+/// handler owns its thread-safety (ShardedMonitor's surface already is).
+class FrameServer {
+ public:
+  using Handler = std::function<std::string(const std::string& request)>;
+
+  /// Binds and listens on `socket_path` (an existing socket file is
+  /// unlinked first — stale sockets of a crashed predecessor must not
+  /// block a restart) and starts accepting. `pool` serves the
+  /// connections and must outlive the server; nullptr creates a private
+  /// 4-worker pool. Throws WireError when bind/listen fails.
+  FrameServer(std::string socket_path, Handler handler,
+              runtime::ThreadPool* pool = nullptr);
+
+  /// Stop() + join.
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Shuts the listener and every open connection down (shutdown(2), so
+  /// blocked reads return immediately), joins the accept thread, and
+  /// unlinks the socket file. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  void AcceptLoop();
+  void Serve(int fd);
+  /// Tracks `fd` so Stop() can shut it down; returns false when the
+  /// server is already stopping (caller closes the fd instead).
+  bool TrackConnection(int fd);
+  void UntrackConnection(int fd);
+
+  std::string path_;
+  Handler handler_;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  runtime::ThreadPool* pool_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::mutex mutex_;                ///< Guards connections_.
+  std::vector<int> connections_;    ///< Live connection fds.
+  std::unique_ptr<std::thread> accept_thread_;
+};
+
+/// Blocking client of a FrameServer: connect once, then Call() sends a
+/// request frame and waits for the response frame. One outstanding call
+/// at a time (matching the server's one-in-one-out contract).
+class FrameClient {
+ public:
+  /// Connects to `socket_path`; throws WireError when the server is not
+  /// there.
+  explicit FrameClient(const std::string& socket_path);
+  ~FrameClient();
+
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  /// One request/response round trip. Throws WireError when the server
+  /// hangs up or the frame is malformed.
+  std::string Call(const std::string& request);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace io
+}  // namespace ccd
+
+#endif  // CCD_IO_FRAME_SERVER_H_

@@ -1,0 +1,212 @@
+#include "io/monitor_service.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ccd {
+namespace io {
+
+namespace {
+
+/// %.17g: the shortest printf precision that round-trips every finite
+/// double bit-exactly — the text protocol must not be where bit-identical
+/// serving quietly dies.
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double ParseDouble(const std::string& token, const char* what) {
+  size_t used = 0;
+  double v;
+  try {
+    v = std::stod(token, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(what) + " '" + token +
+                                "' is not a number");
+  }
+  if (used != token.size()) {
+    throw std::invalid_argument(std::string(what) + " '" + token +
+                                "' has trailing characters");
+  }
+  return v;
+}
+
+uint64_t ParseU64(const std::string& token, const char* what) {
+  size_t used = 0;
+  unsigned long long v;
+  try {
+    v = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(what) + " '" + token +
+                                "' is not a non-negative integer");
+  }
+  if (used != token.size()) {
+    throw std::invalid_argument(std::string(what) + " '" + token +
+                                "' has trailing characters");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+int ParseInt(const std::string& token, const char* what) {
+  size_t used = 0;
+  int v;
+  try {
+    v = std::stoi(token, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(what) + " '" + token +
+                                "' is not an integer");
+  }
+  if (used != token.size()) {
+    throw std::invalid_argument(std::string(what) + " '" + token +
+                                "' has trailing characters");
+  }
+  return v;
+}
+
+std::vector<double> ParseFeatures(const std::vector<std::string>& tokens,
+                                  size_t from) {
+  if (from >= tokens.size()) {
+    throw std::invalid_argument("missing feature values");
+  }
+  std::vector<double> features;
+  features.reserve(tokens.size() - from);
+  for (size_t i = from; i < tokens.size(); ++i) {
+    features.push_back(ParseDouble(tokens[i], "feature"));
+  }
+  return features;
+}
+
+std::string FormatPrediction(const api::ShardedMonitor::Prediction& p) {
+  std::string out = "OK " + std::to_string(p.shard) + " " +
+                    std::to_string(p.id) + " " + std::to_string(p.label);
+  for (double s : p.scores) out += " " + FormatDouble(s);
+  return out;
+}
+
+}  // namespace
+
+MonitorService::MonitorService(api::ShardedMonitor* monitor,
+                               std::string default_persist_dir)
+    : monitor_(monitor), default_persist_dir_(std::move(default_persist_dir)) {}
+
+std::string MonitorService::Handle(const std::string& request) {
+  try {
+    return Dispatch(request);
+  } catch (const std::exception& e) {
+    return std::string("ERR ") + e.what();
+  }
+}
+
+std::string MonitorService::Dispatch(const std::string& request) {
+  // The two binary commands split at the first newline; everything before
+  // it is the text header, everything after the verbatim payload.
+  const size_t newline = request.find('\n');
+  const std::string header =
+      newline == std::string::npos ? request : request.substr(0, newline);
+
+  std::istringstream in(header);
+  std::vector<std::string> tokens;
+  for (std::string token; in >> token;) tokens.push_back(std::move(token));
+  if (tokens.empty()) throw std::invalid_argument("empty request");
+  const std::string& command = tokens[0];
+  const bool keyed = monitor_->mode() == runtime::RoutingMode::kHashKey;
+
+  if (command == "PREDICT") {
+    if (keyed) {
+      if (tokens.size() < 3) {
+        throw std::invalid_argument("usage: PREDICT <key> <features...>");
+      }
+      uint64_t key = ParseU64(tokens[1], "key");
+      return FormatPrediction(monitor_->Predict(key, ParseFeatures(tokens, 2)));
+    }
+    return FormatPrediction(monitor_->Predict(ParseFeatures(tokens, 1)));
+  }
+
+  if (command == "FEED") {
+    Instance instance;
+    if (keyed) {
+      if (tokens.size() < 4) {
+        throw std::invalid_argument("usage: FEED <key> <label> <features...>");
+      }
+      uint64_t key = ParseU64(tokens[1], "key");
+      instance.label = ParseInt(tokens[2], "label");
+      instance.features = ParseFeatures(tokens, 3);
+      monitor_->Feed(key, instance);
+    } else {
+      if (tokens.size() < 3) {
+        throw std::invalid_argument("usage: FEED <label> <features...>");
+      }
+      instance.label = ParseInt(tokens[1], "label");
+      instance.features = ParseFeatures(tokens, 2);
+      monitor_->Feed(instance);
+    }
+    return "OK";
+  }
+
+  if (command == "LABEL") {
+    if (tokens.size() != 4) {
+      throw std::invalid_argument("usage: LABEL <shard> <id> <label>");
+    }
+    bool applied = monitor_->Label(ParseInt(tokens[1], "shard"),
+                                   ParseU64(tokens[2], "id"),
+                                   ParseInt(tokens[3], "label"));
+    return applied ? "OK applied" : "OK unknown";
+  }
+
+  if (command == "STATS") {
+    return "OK position=" + std::to_string(monitor_->position()) +
+           " pending=" + std::to_string(monitor_->pending()) +
+           " evicted=" + std::to_string(monitor_->evicted()) +
+           " unmatched=" + std::to_string(monitor_->unmatched_labels()) +
+           " shards=" + std::to_string(monitor_->shards()) +
+           " drifts=" + std::to_string(monitor_->DriftLog().size());
+  }
+
+  if (command == "RESULT") {
+    PrequentialResult r = monitor_->Result();
+    return "OK pmauc=" + FormatDouble(r.mean_pmauc) +
+           " pmgm=" + FormatDouble(r.mean_pmgm) +
+           " accuracy=" + FormatDouble(r.mean_accuracy) +
+           " kappa=" + FormatDouble(r.mean_kappa) +
+           " instances=" + std::to_string(r.instances) +
+           " drifts=" + std::to_string(r.drifts);
+  }
+
+  if (command == "PERSIST") {
+    std::string dir =
+        tokens.size() >= 2 ? tokens[1] : default_persist_dir_;
+    if (dir.empty()) {
+      throw std::invalid_argument(
+          "PERSIST needs a directory (none configured)");
+    }
+    monitor_->Persist(dir);
+    return "OK " + dir;
+  }
+
+  if (command == "SHIP") {
+    if (tokens.size() != 2) throw std::invalid_argument("usage: SHIP <shard>");
+    return "OK\n" + monitor_->ShipShard(ParseInt(tokens[1], "shard"));
+  }
+
+  if (command == "LOAD") {
+    if (tokens.size() != 2 || newline == std::string::npos) {
+      throw std::invalid_argument(
+          "usage: LOAD <shard>\\n<state image bytes>");
+    }
+    monitor_->RestoreShard(ParseInt(tokens[1], "shard"),
+                           request.substr(newline + 1));
+    return "OK";
+  }
+
+  throw std::invalid_argument(
+      "unknown command '" + command +
+      "'; commands: PREDICT FEED LABEL STATS RESULT PERSIST SHIP LOAD");
+}
+
+}  // namespace io
+}  // namespace ccd

@@ -1,0 +1,165 @@
+#include "io/snapshot_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "io/wire.h"
+
+namespace ccd {
+namespace io {
+
+namespace {
+
+/// Errno-flavored WireError: persistence failures carry the same typed
+/// error as wire corruption, with the file standing in for the field.
+[[noreturn]] void FailIo(const std::string& path, const std::string& what) {
+  throw WireError(path, 0, what + ": " + std::strerror(errno));
+}
+
+/// EINTR-proof full write.
+void WriteAll(int fd, const char* data, size_t size, const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailIo(path, "write failed");
+    }
+    done += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string directory)
+    : dir_(std::move(directory)) {
+  if (dir_.empty()) {
+    throw WireError("<store>", 0, "snapshot directory must be non-empty");
+  }
+  while (dir_.size() > 1 && dir_.back() == '/') dir_.pop_back();
+  struct stat st;
+  if (::stat(dir_.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      throw WireError(dir_, 0, "exists but is not a directory");
+    }
+    return;
+  }
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    FailIo(dir_, "cannot create snapshot directory");
+  }
+}
+
+void SnapshotStore::CheckName(const std::string& name) const {
+  if (name.empty() || name == "." || name == ".." ||
+      name.find('/') != std::string::npos) {
+    throw WireError(name, 0, "snapshot names must be bare file names");
+  }
+}
+
+std::string SnapshotStore::Path(const std::string& name) const {
+  CheckName(name);
+  return dir_ + "/" + name;
+}
+
+void SnapshotStore::SyncDir() const {
+  int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) FailIo(dir_, "cannot open directory for fsync");
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    FailIo(dir_, "directory fsync failed");
+  }
+  ::close(fd);
+}
+
+void SnapshotStore::Write(const std::string& name, const std::string& bytes) {
+  const std::string final_path = Path(name);
+  // Hidden temp name: crash debris is recognizable (and List() callers can
+  // see it), while a rename() over the final name stays atomic within the
+  // same directory.
+  const std::string tmp_path = dir_ + "/." + name + ".tmp";
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) FailIo(tmp_path, "cannot create temp file");
+  try {
+    WriteAll(fd, bytes.data(), bytes.size(), tmp_path);
+    if (::fsync(fd) != 0) FailIo(tmp_path, "fsync failed");
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    FailIo(tmp_path, "close failed");
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    int saved = errno;
+    ::unlink(tmp_path.c_str());
+    errno = saved;
+    FailIo(final_path, "rename failed");
+  }
+  SyncDir();
+}
+
+std::string SnapshotStore::Read(const std::string& name) const {
+  const std::string path = Path(name);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) FailIo(path, "cannot open snapshot");
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      FailIo(path, "read failed");
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool SnapshotStore::Exists(const std::string& name) const {
+  struct stat st;
+  return ::stat(Path(name).c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+void SnapshotStore::Remove(const std::string& name) {
+  const std::string path = Path(name);
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return;
+    FailIo(path, "unlink failed");
+  }
+  SyncDir();
+}
+
+std::vector<std::string> SnapshotStore::List() const {
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) FailIo(dir_, "cannot list snapshot directory");
+  std::vector<std::string> names;
+  for (struct dirent* e = ::readdir(dir); e != nullptr; e = ::readdir(dir)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir_ + "/" + name).c_str(), &st) != 0) continue;
+    if (S_ISREG(st.st_mode)) names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace io
+}  // namespace ccd

@@ -1,0 +1,62 @@
+#ifndef CCD_IO_SNAPSHOT_STORE_H_
+#define CCD_IO_SNAPSHOT_STORE_H_
+
+#include <string>
+#include <vector>
+
+namespace ccd {
+namespace io {
+
+/// Crash-safe blob store over one directory: every Write() is atomic
+/// (write to a hidden temp file, fsync it, rename() over the final name,
+/// fsync the directory), so a reader never observes a half-written file —
+/// after a crash at *any* point a name either holds its complete old
+/// contents or its complete new contents. Content integrity (CRC,
+/// version) is the layer above: callers store envelope-sealed bytes
+/// (io::SealEnvelope) and validate on read.
+///
+/// All failure modes — unwritable directory, missing file, short read,
+/// failed rename — throw io::WireError naming the file, so persistence
+/// errors flow through the same typed-error channel as wire corruption.
+class SnapshotStore {
+ public:
+  /// Opens (and creates, mode 0755, one level) `directory`. Throws
+  /// WireError when the path exists but is not a directory, or cannot be
+  /// created.
+  explicit SnapshotStore(std::string directory);
+
+  /// Atomically replaces `name` with `bytes` (tmp + fsync + rename +
+  /// directory fsync). `name` must be a bare file name, no separators.
+  void Write(const std::string& name, const std::string& bytes);
+
+  /// Full contents of `name`. Throws WireError when absent or unreadable.
+  std::string Read(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  /// Removes `name` if present (absence is not an error — cleanup of a
+  /// superseded generation must be idempotent), then fsyncs the directory
+  /// so the unlink is durable. Throws WireError on a real unlink failure.
+  void Remove(const std::string& name);
+
+  /// All regular-file names in the directory, sorted.
+  std::vector<std::string> List() const;
+
+  /// Absolute-ish path of `name` inside the store (for diagnostics).
+  std::string Path(const std::string& name) const;
+
+  const std::string& directory() const { return dir_; }
+
+ private:
+  /// Validates a bare name (non-empty, no '/', not "." / "..").
+  void CheckName(const std::string& name) const;
+  /// fsync() on the directory fd, so renames/unlinks are durable.
+  void SyncDir() const;
+
+  std::string dir_;
+};
+
+}  // namespace io
+}  // namespace ccd
+
+#endif  // CCD_IO_SNAPSHOT_STORE_H_

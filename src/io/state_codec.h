@@ -1,0 +1,109 @@
+#ifndef CCD_IO_STATE_CODEC_H_
+#define CCD_IO_STATE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/engine.h"
+#include "eval/prequential.h"
+#include "eval/sharded.h"
+#include "io/wire.h"
+
+namespace ccd {
+namespace io {
+
+/// Codecs for the evaluation-layer aggregates: the run state of a
+/// MonitorEngine (EngineSnapshot), its protocol (PrequentialConfig), and
+/// the complete durable form of one monitoring shard (StateImage). These
+/// sit one layer above io/codecs.h — they may depend on eval/ and on the
+/// api component registries, which the per-component codecs must not.
+
+void WriteConfig(Writer& w, const PrequentialConfig& config);
+PrequentialConfig ReadConfig(Reader& r);
+
+/// Exact inverse pair: ReadSnapshot(WriteSnapshot(s)) == s field for
+/// field, bit for bit (doubles travel as IEEE-754 bit patterns).
+/// Structural validation (window within the configured bound, pending ids
+/// ascending, ...) stays where it always was — MonitorEngine::Restore();
+/// the codec only enforces wire-format integrity.
+void WriteSnapshot(Writer& w, const EngineSnapshot& snapshot);
+EngineSnapshot ReadSnapshot(Reader& r);
+
+/// The complete durable form of one monitoring shard: the registry
+/// identity needed to rebuild its components from nothing (names +
+/// canonical `key=value` params + seed), the evaluation protocol, and the
+/// full run state (EngineState = engine snapshot + live components).
+///
+/// Move-only, like the EngineState it carries.
+struct StateImage {
+  StreamSchema schema;
+  std::string classifier;         ///< Registry name, e.g. "cs-ptree".
+  std::string classifier_params;  ///< ParamMap::ToString() canonical form.
+  std::string detector;           ///< Registry name; empty = no detector.
+  std::string detector_params;
+  uint64_t seed = 0;
+  PrequentialConfig config;
+  EngineState state;
+};
+
+/// Serializes `image` into a sealed envelope (magic, format version,
+/// CRC-32 trailer — see io/wire.h). The component payloads are written by
+/// the components themselves (SaveState()), each wrapped in a section
+/// named by its name() so bytes of the wrong component fail typed.
+/// Throws std::logic_error when a component does not implement
+/// SaveState(), naming it.
+std::string EncodeStateImage(const StateImage& image);
+
+/// Parses a sealed envelope back into a StateImage: validates magic,
+/// version and CRC, reads the identity and run state, reconstructs the
+/// components through the api registries (an unknown registry name
+/// surfaces as WireError, not ApiError) and restores their learned state
+/// via LoadState(). Every malformed input path throws WireError.
+StateImage DecodeStateImage(const std::string& bytes);
+
+/// File name of a persisted monitor's manifest inside its directory. The
+/// manifest is renamed into place *after* every shard file of its
+/// generation is durable, so its presence is the commit point: a crash
+/// mid-persist leaves either the complete previous generation or the
+/// complete new one, never a mix.
+extern const char kManifestName[];
+
+/// Directory manifest of a persisted api::ShardedMonitor: the fleet
+/// identity (everything the builder was told) plus one entry per shard
+/// file with its expected size and CRC-32, so a reopened monitor detects
+/// a swapped or truncated shard file before decoding a byte of it.
+struct Manifest {
+  struct ShardFile {
+    std::string file;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+
+  StreamSchema schema;
+  std::string classifier;
+  std::string classifier_params;
+  std::string detector;  ///< Empty = no detector.
+  std::string detector_params;
+  uint64_t seed = 0;
+  PrequentialConfig config;
+  uint64_t pending_capacity = 0;
+  uint8_t mode = 0;  ///< runtime::RoutingMode as its integer value.
+  uint64_t merge_every = 0;
+  uint64_t completed_total = 0;
+  uint64_t generation = 0;
+  std::vector<ShardFile> shards;
+};
+
+/// Envelope-sealed manifest bytes (same magic/version/CRC framing as
+/// state images).
+std::string EncodeManifest(const Manifest& manifest);
+
+/// Parses and validates manifest bytes; throws WireError on corruption,
+/// an empty shard list, or an out-of-range routing mode.
+Manifest DecodeManifest(const std::string& bytes);
+
+}  // namespace io
+}  // namespace ccd
+
+#endif  // CCD_IO_STATE_CODEC_H_

@@ -1,0 +1,419 @@
+#include "io/wire.h"
+
+#include <cstring>
+
+namespace ccd {
+namespace io {
+
+const char* TagName(Tag tag) {
+  switch (tag) {
+    case Tag::kU8:
+      return "u8";
+    case Tag::kU32:
+      return "u32";
+    case Tag::kU64:
+      return "u64";
+    case Tag::kI64:
+      return "i64";
+    case Tag::kF64:
+      return "f64";
+    case Tag::kBool:
+      return "bool";
+    case Tag::kString:
+      return "string";
+    case Tag::kBytes:
+      return "bytes";
+    case Tag::kF64Array:
+      return "f64-array";
+    case Tag::kSection:
+      return "section";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Table-driven CRC-32; the table is built once on first use.
+const uint32_t* CrcTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void AppendRawU32(std::string* buf, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFFu);
+  b[1] = static_cast<char>((v >> 8) & 0xFFu);
+  b[2] = static_cast<char>((v >> 16) & 0xFFu);
+  b[3] = static_cast<char>((v >> 24) & 0xFFu);
+  buf->append(b, 4);
+}
+
+uint32_t LoadRawU32(const char* p) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------- Writer
+
+void Writer::PutTag(Tag tag) { buf_.push_back(static_cast<char>(tag)); }
+
+void Writer::PutRawU32(uint32_t v) { AppendRawU32(&buf_, v); }
+
+void Writer::PutRawU64(uint64_t v) {
+  PutRawU32(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutRawU32(static_cast<uint32_t>(v >> 32));
+}
+
+void Writer::U8(uint8_t v) {
+  PutTag(Tag::kU8);
+  buf_.push_back(static_cast<char>(v));
+}
+
+void Writer::U32(uint32_t v) {
+  PutTag(Tag::kU32);
+  PutRawU32(v);
+}
+
+void Writer::U64(uint64_t v) {
+  PutTag(Tag::kU64);
+  PutRawU64(v);
+}
+
+void Writer::I64(int64_t v) {
+  PutTag(Tag::kI64);
+  PutRawU64(static_cast<uint64_t>(v));
+}
+
+void Writer::F64(double v) {
+  PutTag(Tag::kF64);
+  PutRawU64(DoubleBits(v));
+}
+
+void Writer::Bool(bool v) {
+  PutTag(Tag::kBool);
+  buf_.push_back(v ? '\x01' : '\x00');
+}
+
+void Writer::String(const std::string& v) {
+  if (v.size() > kMaxLengthPrefix) {
+    throw std::logic_error("io::Writer: string exceeds kMaxLengthPrefix");
+  }
+  PutTag(Tag::kString);
+  PutRawU32(static_cast<uint32_t>(v.size()));
+  buf_.append(v);
+}
+
+void Writer::Bytes(const std::string& v) {
+  if (v.size() > kMaxLengthPrefix) {
+    throw std::logic_error("io::Writer: blob exceeds kMaxLengthPrefix");
+  }
+  PutTag(Tag::kBytes);
+  PutRawU32(static_cast<uint32_t>(v.size()));
+  buf_.append(v);
+}
+
+void Writer::F64Array(const std::vector<double>& v) {
+  if (v.size() > kMaxLengthPrefix / 8) {
+    throw std::logic_error("io::Writer: array exceeds kMaxLengthPrefix");
+  }
+  PutTag(Tag::kF64Array);
+  PutRawU32(static_cast<uint32_t>(v.size()));
+  for (double d : v) PutRawU64(DoubleBits(d));
+}
+
+void Writer::BeginSection(const std::string& name) {
+  PutTag(Tag::kSection);
+  if (name.size() > kMaxLengthPrefix) {
+    throw std::logic_error("io::Writer: section name too long");
+  }
+  PutRawU32(static_cast<uint32_t>(name.size()));
+  buf_.append(name);
+  open_sections_.push_back(buf_.size());
+  PutRawU32(0);  // Body-length placeholder, patched by EndSection().
+}
+
+void Writer::EndSection() {
+  if (open_sections_.empty()) {
+    throw std::logic_error("io::Writer: EndSection() without BeginSection()");
+  }
+  size_t at = open_sections_.back();
+  open_sections_.pop_back();
+  size_t body = buf_.size() - (at + 4);
+  if (body > kMaxLengthPrefix) {
+    throw std::logic_error("io::Writer: section exceeds kMaxLengthPrefix");
+  }
+  std::string patch;
+  AppendRawU32(&patch, static_cast<uint32_t>(body));
+  buf_.replace(at, 4, patch);
+}
+
+const std::string& Writer::data() const {
+  if (!open_sections_.empty()) {
+    throw std::logic_error("io::Writer: unclosed section at data()");
+  }
+  return buf_;
+}
+
+std::string Writer::Release() {
+  if (!open_sections_.empty()) {
+    throw std::logic_error("io::Writer: unclosed section at Release()");
+  }
+  std::string out = std::move(buf_);
+  buf_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------- Reader
+
+const char* Reader::Need(size_t n, const char* field) {
+  size_t limit = Limit();
+  if (pos_ + n > limit || pos_ + n < pos_) {
+    Fail(field, "truncated: need " + std::to_string(n) + " byte(s), " +
+                    std::to_string(limit - pos_) + " remain");
+  }
+  const char* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+void Reader::RequireTag(Tag expected, const char* field) {
+  size_t at = pos_;
+  const char* p = Need(1, field);
+  uint8_t got = static_cast<uint8_t>(*p);
+  if (got != static_cast<uint8_t>(expected)) {
+    throw WireError(field, at,
+                    std::string("expected ") + TagName(expected) +
+                        " tag, found " + TagName(static_cast<Tag>(got)) +
+                        " (0x" + std::to_string(got) + ")");
+  }
+}
+
+uint32_t Reader::RawU32(const char* field) {
+  return LoadRawU32(Need(4, field));
+}
+
+uint64_t Reader::RawU64(const char* field) {
+  const char* p = Need(8, field);
+  return static_cast<uint64_t>(LoadRawU32(p)) |
+         (static_cast<uint64_t>(LoadRawU32(p + 4)) << 32);
+}
+
+uint32_t Reader::LengthPrefix(const char* field) {
+  size_t at = pos_;
+  uint32_t len = RawU32(field);
+  if (len > kMaxLengthPrefix) {
+    throw WireError(field, at,
+                    "oversized length prefix: " + std::to_string(len) +
+                        " exceeds cap " + std::to_string(kMaxLengthPrefix));
+  }
+  if (pos_ + len > Limit()) {
+    throw WireError(field, at,
+                    "oversized length prefix: " + std::to_string(len) +
+                        " byte(s) declared, " + std::to_string(Limit() - pos_) +
+                        " remain");
+  }
+  return len;
+}
+
+uint8_t Reader::U8(const char* field) {
+  RequireTag(Tag::kU8, field);
+  return static_cast<uint8_t>(*Need(1, field));
+}
+
+uint32_t Reader::U32(const char* field) {
+  RequireTag(Tag::kU32, field);
+  return RawU32(field);
+}
+
+uint64_t Reader::U64(const char* field) {
+  RequireTag(Tag::kU64, field);
+  return RawU64(field);
+}
+
+int64_t Reader::I64(const char* field) {
+  RequireTag(Tag::kI64, field);
+  return static_cast<int64_t>(RawU64(field));
+}
+
+double Reader::F64(const char* field) {
+  RequireTag(Tag::kF64, field);
+  return DoubleFromBits(RawU64(field));
+}
+
+bool Reader::Bool(const char* field) {
+  RequireTag(Tag::kBool, field);
+  uint8_t v = static_cast<uint8_t>(*Need(1, field));
+  if (v > 1) Fail(field, "bool byte must be 0 or 1, got " + std::to_string(v));
+  return v != 0;
+}
+
+std::string Reader::String(const char* field) {
+  RequireTag(Tag::kString, field);
+  uint32_t len = LengthPrefix(field);
+  return std::string(Need(len, field), len);
+}
+
+std::string Reader::Bytes(const char* field) {
+  RequireTag(Tag::kBytes, field);
+  uint32_t len = LengthPrefix(field);
+  return std::string(Need(len, field), len);
+}
+
+std::vector<double> Reader::F64Array(const char* field) {
+  RequireTag(Tag::kF64Array, field);
+  size_t at = pos_;
+  uint32_t count = RawU32(field);
+  if (count > kMaxLengthPrefix / 8) {
+    throw WireError(field, at,
+                    "oversized length prefix: " + std::to_string(count) +
+                        " doubles exceed cap");
+  }
+  if (pos_ + static_cast<size_t>(count) * 8 > Limit()) {
+    throw WireError(field, at,
+                    "oversized length prefix: " + std::to_string(count) +
+                        " doubles declared, " + std::to_string(Limit() - pos_) +
+                        " byte(s) remain");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out.push_back(DoubleFromBits(RawU64(field)));
+  }
+  return out;
+}
+
+void Reader::BeginSection(const char* name) {
+  RequireTag(Tag::kSection, name);
+  uint32_t name_len = LengthPrefix(name);
+  std::string got(Need(name_len, name), name_len);
+  if (got != name) {
+    Fail(name, "wrong section name: expected '" + std::string(name) +
+                   "', found '" + got + "'");
+  }
+  uint32_t body = LengthPrefix(name);
+  section_ends_.push_back(pos_ + body);
+}
+
+void Reader::EndSection(const char* name) {
+  if (section_ends_.empty()) {
+    Fail(name, "EndSection() without BeginSection()");
+  }
+  size_t end = section_ends_.back();
+  if (pos_ != end) {
+    Fail(name, "section has " + std::to_string(end - pos_) +
+                   " trailing undecoded byte(s)");
+  }
+  section_ends_.pop_back();
+}
+
+uint32_t Reader::Count(const char* field, uint32_t max) {
+  uint32_t n = U32(field);
+  if (n > max) {
+    Fail(field, "count " + std::to_string(n) + " exceeds cap " +
+                    std::to_string(max));
+  }
+  // Every element costs at least one byte on the wire, so a count larger
+  // than the bytes left in the innermost section is malformed no matter
+  // what the elements are. Rejecting it here keeps a corrupted count from
+  // driving a huge reserve() in the caller before the first element read
+  // would fail anyway.
+  const size_t remaining = Limit() - pos_;
+  if (n > remaining) {
+    Fail(field, "count " + std::to_string(n) + " exceeds the " +
+                    std::to_string(remaining) + " byte(s) remaining");
+  }
+  return n;
+}
+
+void Reader::ExpectEnd(const char* what) const {
+  size_t limit = Limit();
+  if (pos_ != limit) {
+    throw WireError(what, pos_,
+                    std::to_string(limit - pos_) +
+                        " trailing undecoded byte(s)");
+  }
+}
+
+// -------------------------------------------------------------- envelope
+
+std::string SealEnvelope(const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 12);
+  AppendRawU32(&out, kMagic);
+  AppendRawU32(&out, kFormatVersion);
+  out.append(body);
+  AppendRawU32(&out, Crc32(out));
+  return out;
+}
+
+std::string OpenEnvelope(const std::string& bytes) {
+  if (bytes.size() < 12) {
+    throw WireError("envelope", bytes.size(),
+                    "too short to be a ccd state blob (" +
+                        std::to_string(bytes.size()) + " byte(s), need 12+)");
+  }
+  uint32_t magic = LoadRawU32(bytes.data());
+  if (magic != kMagic) {
+    throw WireError("envelope.magic", 0,
+                    "bad magic 0x" + std::to_string(magic) +
+                        ": not a ccd state blob");
+  }
+  uint32_t version = LoadRawU32(bytes.data() + 4);
+  if (version != kFormatVersion) {
+    throw WireError("envelope.version", 4,
+                    "unsupported format version " + std::to_string(version) +
+                        " (this build reads version " +
+                        std::to_string(kFormatVersion) + ")");
+  }
+  uint32_t stored = LoadRawU32(bytes.data() + bytes.size() - 4);
+  uint32_t computed = Crc32(bytes.data(), bytes.size() - 4);
+  if (stored != computed) {
+    throw WireError("envelope.crc32", bytes.size() - 4,
+                    "checksum mismatch: stored " + std::to_string(stored) +
+                        ", computed " + std::to_string(computed));
+  }
+  return bytes.substr(8, bytes.size() - 12);
+}
+
+}  // namespace io
+}  // namespace ccd

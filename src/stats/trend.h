@@ -17,6 +17,11 @@ namespace ccd {
 /// from ADWIN): shrinking evicts the oldest points immediately.
 class SlidingTrend {
  public:
+  struct Point {
+    uint64_t t;
+    double r;
+  };
+
   explicit SlidingTrend(size_t window) : window_(window) {}
 
   /// Appends observation R at the next time index and updates the sums
@@ -61,12 +66,28 @@ class SlidingTrend {
     // Keep t_ running: the regression is over absolute batch indices.
   }
 
- private:
-  struct Point {
-    uint64_t t;
-    double r;
-  };
+  /// Serialization access. The four running sums carry the incremental
+  /// add/subtract floating-point history of every eviction; recomputing
+  /// them from the surviving points would give a numerically different
+  /// value, so they are persisted and restored verbatim.
+  const std::deque<Point>& points() const { return points_; }
+  double sum_tr() const { return sum_tr_; }
+  double sum_t() const { return sum_t_; }
+  double sum_r() const { return sum_r_; }
+  double sum_t2() const { return sum_t2_; }
 
+  void RestoreState(size_t window, uint64_t t, std::deque<Point> points,
+                    double sum_tr, double sum_t, double sum_r, double sum_t2) {
+    window_ = window == 0 ? 1 : window;
+    t_ = t;
+    points_ = std::move(points);
+    sum_tr_ = sum_tr;
+    sum_t_ = sum_t;
+    sum_r_ = sum_r;
+    sum_t2_ = sum_t2;
+  }
+
+ private:
   void EvictToCapacity() {
     while (points_.size() > window_) {
       const Point& p = points_.front();

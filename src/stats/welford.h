@@ -36,6 +36,17 @@ class Welford {
 
   double StdDev() const { return std::sqrt(Variance()); }
 
+  /// Raw second central moment — serialization access. mean/m2 must be
+  /// persisted verbatim: recomputing them from samples would not reproduce
+  /// the incremental floating-point history bit for bit.
+  double m2() const { return m2_; }
+
+  void RestoreState(uint64_t n, double mean, double m2) {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+  }
+
  private:
   uint64_t n_ = 0;
   double mean_ = 0.0;

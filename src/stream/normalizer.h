@@ -63,6 +63,25 @@ class MinMaxNormalizer {
 
   bool seen() const { return seen_; }
 
+  /// Serialization access: the learned bounds are stream state and must
+  /// survive a persist/restore round trip verbatim.
+  const std::vector<double>& lower() const { return lo_; }
+  const std::vector<double>& upper() const { return hi_; }
+
+  /// Replaces the learned bounds. Throws std::invalid_argument when the
+  /// two bound vectors disagree in width or do not match the width this
+  /// normalizer was constructed for.
+  void RestoreState(std::vector<double> lo, std::vector<double> hi,
+                    bool seen) {
+    if (lo.size() != hi.size() || lo.size() != lo_.size()) {
+      throw std::invalid_argument(
+          "MinMaxNormalizer::RestoreState: bound width mismatch");
+    }
+    lo_ = std::move(lo);
+    hi_ = std::move(hi);
+    seen_ = seen;
+  }
+
  private:
   void CheckWidth(const std::vector<double>& x) const {
     if (x.size() != lo_.size()) {

@@ -106,6 +106,26 @@ class Rng {
   /// component its own deterministic sub-sequence.
   Rng Split() { return Rng((static_cast<uint64_t>(NextU32()) << 32) | NextU32()); }
 
+  /// Complete generator state — the PCG cursor plus the Marsaglia-polar
+  /// Gaussian cache. Restoring this (not just the seed) is what makes a
+  /// deserialized component continue the exact deviate sequence of the
+  /// original, which the bit-identical persistence contract requires.
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    bool has_gauss = false;
+    double cached_gauss = 0.0;
+  };
+
+  State SaveState() const { return {state_, inc_, has_gauss_, cached_gauss_}; }
+
+  void RestoreState(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    has_gauss_ = s.has_gauss;
+    cached_gauss_ = s.cached_gauss;
+  }
+
  private:
   // Local wrappers avoid pulling <cmath> into every includer's macro scope.
   static double Sqrt(double x);

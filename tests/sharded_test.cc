@@ -15,6 +15,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,18 @@
 
 namespace ccd {
 namespace {
+
+// EngineState is a handoff token with exactly one owner: copying would
+// alias live component clones across shards and allow a state to be
+// silently restored twice, so the copy operations are deleted.
+static_assert(!std::is_copy_constructible<EngineState>::value,
+              "EngineState must not be copyable");
+static_assert(!std::is_copy_assignable<EngineState>::value,
+              "EngineState must not be copy-assignable");
+static_assert(std::is_move_constructible<EngineState>::value,
+              "EngineState must stay movable");
+static_assert(std::is_move_assignable<EngineState>::value,
+              "EngineState must stay move-assignable");
 
 using test_util::ExpectBitIdentical;
 using test_util::ExpectSnapshotEq;
