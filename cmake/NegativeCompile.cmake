@@ -1,0 +1,57 @@
+# Negative-compile checks for the thread-safety annotations.
+#
+# Each case in tests/negative_compile/ is compiled twice at configure
+# time with clang's -Werror=thread-safety:
+#   1. control (no defines)          — must succeed, proving the case is
+#                                      otherwise well-formed and the
+#                                      harness isn't vacuously "passing".
+#   2. -DCCD_EXPECT_VIOLATION=1      — must FAIL, proving the analysis
+#                                      actually rejects the violation.
+# Any other outcome is a FATAL_ERROR: a silently-neutered annotation
+# layer (e.g. someone edits CCD_TSA to a no-op under clang) breaks the
+# configure, not just a code review.
+#
+# Clang-only: GCC has no thread-safety analysis, so under GCC the checks
+# are skipped (the annotations compile to nothing there by design).
+
+function(ccd_negative_compile_check name source)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(STATUS "Negative-compile check '${name}': skipped (requires clang)")
+    return()
+  endif()
+
+  set(_common_flags
+    "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+    "-DCMAKE_CXX_STANDARD=17"
+    "-DCMAKE_CXX_STANDARD_REQUIRED=ON")
+
+  # try_compile must not attempt to link: these cases reference symbols
+  # whose definitions live in the main library.
+  set(CMAKE_TRY_COMPILE_TARGET_TYPE STATIC_LIBRARY)
+
+  try_compile(_control_ok
+    "${CMAKE_BINARY_DIR}/negative_compile/${name}_control"
+    "${source}"
+    CMAKE_FLAGS ${_common_flags}
+    COMPILE_DEFINITIONS "-Wthread-safety -Werror=thread-safety"
+    OUTPUT_VARIABLE _control_log)
+  if(NOT _control_ok)
+    message(FATAL_ERROR
+      "Negative-compile check '${name}': control build FAILED — the case "
+      "is broken independent of the violation under test.\n${_control_log}")
+  endif()
+
+  try_compile(_violation_ok
+    "${CMAKE_BINARY_DIR}/negative_compile/${name}_violation"
+    "${source}"
+    CMAKE_FLAGS ${_common_flags}
+    COMPILE_DEFINITIONS
+      "-Wthread-safety -Werror=thread-safety -DCCD_EXPECT_VIOLATION=1")
+  if(_violation_ok)
+    message(FATAL_ERROR
+      "Negative-compile check '${name}': the violating build COMPILED — "
+      "the thread-safety annotations are not being enforced.")
+  endif()
+
+  message(STATUS "Negative-compile check '${name}': passed")
+endfunction()

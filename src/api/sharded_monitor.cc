@@ -33,25 +33,29 @@ ShardedMonitor::ShardedMonitor(const StreamSchema& schema,
       merge_every_(merge_every),
       hooks_(std::move(hooks)),
       router_(shards, mode) {
+  // Constructor: the monitor is not published yet, so the analysis (and
+  // reality) exempt these guarded writes from the lock discipline.
   shards_.reserve(static_cast<size_t>(shards));
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(MakeShard(i));
   }
 }
 
-ShardedMonitor::Shard ShardedMonitor::MakeShard(int shard) const {
-  Shard s;
+std::unique_ptr<ShardedMonitor::Shard> ShardedMonitor::MakeShard(
+    int shard) const {
   const uint64_t seed = seed_ + static_cast<uint64_t>(shard);
-  s.classifier =
+  std::unique_ptr<OnlineClassifier> classifier =
       Classifiers().Create(classifier_name_, schema_, seed, classifier_params_);
+  std::unique_ptr<DriftDetector> detector;
   if (!detector_name_.empty()) {
-    s.detector =
+    detector =
         Detectors().Create(detector_name_, schema_, seed, detector_params_);
   }
-  s.engine = std::make_unique<MonitorEngine>(
-      schema_, s.classifier.get(), s.detector.get(), config_,
+  auto engine = std::make_unique<MonitorEngine>(
+      schema_, classifier.get(), detector.get(), config_,
       MakeShardHooks(shard), pending_capacity_);
-  return s;
+  return std::make_unique<Shard>(std::move(classifier), std::move(detector),
+                                 std::move(engine));
 }
 
 EngineHooks ShardedMonitor::MakeShardHooks(int shard) const {
@@ -92,12 +96,13 @@ ShardedMonitor::Prediction ShardedMonitor::Predict(
     uint64_t key, const std::vector<double>& features, double weight) {
   RequireMode(runtime::RoutingMode::kHashKey, "Predict(key, features)",
               "Predict(features)");
-  runtime::Router::Guard guard = router_.AcquireKey(key);
-  MonitorEngine::Ticket t =
-      shards_[static_cast<size_t>(guard.slot)].engine->Predict(features,
-                                                               weight);
+  runtime::ReaderLock table(&router_.TableMutex());
+  const int slot = router_.RouteKey(key);
+  Shard& s = *shards_[static_cast<size_t>(slot)];
+  runtime::MutexLock lock(&s.mu);
+  MonitorEngine::Ticket t = s.engine->Predict(features, weight);
   Prediction p;
-  p.shard = guard.slot;
+  p.shard = slot;
   p.id = t.id;
   p.label = t.predicted;
   p.scores = std::move(t.scores);
@@ -108,8 +113,11 @@ void ShardedMonitor::Feed(uint64_t key, const Instance& instance) {
   RequireMode(runtime::RoutingMode::kHashKey, "Feed(key, instance)",
               "Feed(instance)");
   {
-    runtime::Router::Guard guard = router_.AcquireKey(key);
-    shards_[static_cast<size_t>(guard.slot)].engine->Feed(instance);
+    runtime::ReaderLock table(&router_.TableMutex());
+    const int slot = router_.RouteKey(key);
+    Shard& s = *shards_[static_cast<size_t>(slot)];
+    runtime::MutexLock lock(&s.mu);
+    s.engine->Feed(instance);
   }
   NoteCompleted();
 }
@@ -119,9 +127,11 @@ bool ShardedMonitor::LabelKey(uint64_t key, uint64_t id, int true_label) {
               "Label(shard, id, label)");
   bool applied;
   {
-    runtime::Router::Guard guard = router_.AcquireKey(key);
-    applied = shards_[static_cast<size_t>(guard.slot)].engine->Label(
-                  id, true_label) == LabelOutcome::kApplied;
+    runtime::ReaderLock table(&router_.TableMutex());
+    const int slot = router_.RouteKey(key);
+    Shard& s = *shards_[static_cast<size_t>(slot)];
+    runtime::MutexLock lock(&s.mu);
+    applied = s.engine->Label(id, true_label) == LabelOutcome::kApplied;
   }
   if (applied) NoteCompleted();
   return applied;
@@ -131,12 +141,13 @@ ShardedMonitor::Prediction ShardedMonitor::Predict(
     const std::vector<double>& features, double weight) {
   RequireMode(runtime::RoutingMode::kRoundRobin, "Predict(features)",
               "Predict(key, features)");
-  runtime::Router::Guard guard = router_.AcquireNext();
-  MonitorEngine::Ticket t =
-      shards_[static_cast<size_t>(guard.slot)].engine->Predict(features,
-                                                               weight);
+  runtime::ReaderLock table(&router_.TableMutex());
+  const int slot = router_.RouteNext();
+  Shard& s = *shards_[static_cast<size_t>(slot)];
+  runtime::MutexLock lock(&s.mu);
+  MonitorEngine::Ticket t = s.engine->Predict(features, weight);
   Prediction p;
-  p.shard = guard.slot;
+  p.shard = slot;
   p.id = t.id;
   p.label = t.predicted;
   p.scores = std::move(t.scores);
@@ -147,8 +158,11 @@ void ShardedMonitor::Feed(const Instance& instance) {
   RequireMode(runtime::RoutingMode::kRoundRobin, "Feed(instance)",
               "Feed(key, instance)");
   {
-    runtime::Router::Guard guard = router_.AcquireNext();
-    shards_[static_cast<size_t>(guard.slot)].engine->Feed(instance);
+    runtime::ReaderLock table(&router_.TableMutex());
+    const int slot = router_.RouteNext();
+    Shard& s = *shards_[static_cast<size_t>(slot)];
+    runtime::MutexLock lock(&s.mu);
+    s.engine->Feed(instance);
   }
   NoteCompleted();
 }
@@ -156,55 +170,59 @@ void ShardedMonitor::Feed(const Instance& instance) {
 bool ShardedMonitor::Label(int shard, uint64_t id, int true_label) {
   bool applied;
   {
-    runtime::Router::Guard guard = router_.AcquireSlot(shard);
-    applied = shards_[static_cast<size_t>(guard.slot)].engine->Label(
-                  id, true_label) == LabelOutcome::kApplied;
+    runtime::ReaderLock table(&router_.TableMutex());
+    router_.RequireSlot(shard);
+    Shard& s = *shards_[static_cast<size_t>(shard)];
+    runtime::MutexLock lock(&s.mu);
+    applied = s.engine->Label(id, true_label) == LabelOutcome::kApplied;
   }
   if (applied) NoteCompleted();
   return applied;
 }
 
 int ShardedMonitor::AddShard() {
-  runtime::Router::Exclusive exclusive = router_.LockTable();
+  runtime::WriterLock table(&router_.TableMutex());
   // Strict throw-before-commit order: everything that can fail (component
   // construction, both allocations) happens before the router advertises
   // the new slot, so an exception leaves table and shard vector in step —
   // never a slot whose shards_ entry is missing.
   shards_.reserve(shards_.size() + 1);
   const int shard = static_cast<int>(shards_.size());
-  Shard fresh = MakeShard(shard);
-  router_.AddSlot(exclusive);
+  std::unique_ptr<Shard> fresh = MakeShard(shard);
+  router_.AddSlot(table);
   shards_.push_back(std::move(fresh));  // No-throw: capacity reserved.
   return shard;
 }
 
 void ShardedMonitor::DrainShard(int shard) {
-  runtime::Router::Exclusive exclusive = router_.LockTable();
-  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
-    throw std::out_of_range("ShardedMonitor::DrainShard: shard " +
-                            std::to_string(shard) + " not in a table of " +
-                            std::to_string(shards_.size()) + " shards");
-  }
-  Shard& old = shards_[static_cast<size_t>(shard)];
+  runtime::WriterLock table(&router_.TableMutex());
+  router_.RequireSlot(shard);
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  // Under the exclusive table hold no push is in flight, but the slot
+  // lock is still taken (uncontended) so every guarded access happens
+  // under its declared capability.
+  runtime::MutexLock lock(&s.mu);
   // Every step that can fail — CaptureEngineState throws for components
   // without CloneState() — runs before the old shard is touched, so a
   // failed drain is a no-op (the shard keeps serving), never a shard
   // bricked in a paused state.
   EngineState state =
-      CaptureEngineState(*old.engine, *old.classifier, old.detector.get());
-  Shard fresh;
-  fresh.classifier = std::move(state.classifier);
-  fresh.detector = std::move(state.detector);
-  fresh.engine = std::make_unique<MonitorEngine>(
-      schema_, fresh.classifier.get(), fresh.detector.get(), config_,
+      CaptureEngineState(*s.engine, *s.classifier, s.detector.get());
+  auto engine = std::make_unique<MonitorEngine>(
+      schema_, state.classifier.get(), state.detector.get(), config_,
       MakeShardHooks(shard), pending_capacity_);
-  fresh.engine->Restore(state.snapshot);  // Also clears any paused state.
+  engine->Restore(state.snapshot);  // Also clears any paused state.
   // The documented drain step. Under the exclusive table lock nothing can
   // push anyway, but pausing the outgoing engine keeps the handoff
   // protocol (Pause → state moves → successor serves) explicit and
   // identical to the intra-stream sharding one.
-  old.engine->Pause();
-  shards_[static_cast<size_t>(shard)] = std::move(fresh);
+  s.engine->Pause();
+  // Commit — no-throw moves: the outgoing engine dies first (it holds raw
+  // pointers into the outgoing components), then the components are
+  // replaced by the clones the replacement engine points into.
+  s.engine = std::move(engine);
+  s.classifier = std::move(state.classifier);
+  s.detector = std::move(state.detector);
 }
 
 int ShardedMonitor::shards() const { return router_.slots(); }
@@ -234,14 +252,13 @@ ShardedMonitor::ShardedMonitor(
   shards_.reserve(images.size());
   for (size_t i = 0; i < images.size(); ++i) {
     io::StateImage& image = images[i];
-    Shard s;
-    s.classifier = std::move(image.state.classifier);
-    s.detector = std::move(image.state.detector);
-    s.engine = std::make_unique<MonitorEngine>(
-        schema_, s.classifier.get(), s.detector.get(), config_,
-        MakeShardHooks(static_cast<int>(i)), pending_capacity_);
-    s.engine->Restore(image.state.snapshot);
-    shards_.push_back(std::move(s));
+    auto engine = std::make_unique<MonitorEngine>(
+        schema_, image.state.classifier.get(), image.state.detector.get(),
+        config_, MakeShardHooks(static_cast<int>(i)), pending_capacity_);
+    engine->Restore(image.state.snapshot);
+    shards_.push_back(std::make_unique<Shard>(std::move(image.state.classifier),
+                                              std::move(image.state.detector),
+                                              std::move(engine)));
   }
 }
 
@@ -258,7 +275,7 @@ io::StateImage ShardedMonitor::MakeShardImage(int shard) const {
 }
 
 void ShardedMonitor::Persist(const std::string& directory) {
-  runtime::Router::Exclusive exclusive = router_.LockTable();
+  runtime::WriterLock table(&router_.TableMutex());
   io::SnapshotStore store(directory);
   const uint64_t next_gen = generation_ + 1;
 
@@ -275,9 +292,11 @@ void ShardedMonitor::Persist(const std::string& directory) {
   manifest.merge_every = merge_every_;
   manifest.completed_total = completed_total_.load(std::memory_order_relaxed);
   manifest.generation = next_gen;
+  manifest.shards.reserve(shards_.size());
 
   for (size_t i = 0; i < shards_.size(); ++i) {
-    const Shard& s = shards_[i];
+    const Shard& s = *shards_[i];
+    runtime::MutexLock lock(&s.mu);
     io::StateImage image = MakeShardImage(static_cast<int>(i));
     image.state =
         CaptureEngineState(*s.engine, *s.classifier, s.detector.get());
@@ -348,21 +367,20 @@ ShardedMonitor ShardedMonitor::Open(const std::string& directory,
 }
 
 std::string ShardedMonitor::SerializeShard(int shard) const {
-  runtime::Router::Guard guard = router_.AcquireSlot(shard);
-  const Shard& s = shards_[static_cast<size_t>(guard.slot)];
-  io::StateImage image = MakeShardImage(guard.slot);
+  runtime::ReaderLock table(&router_.TableMutex());
+  router_.RequireSlot(shard);
+  const Shard& s = *shards_[static_cast<size_t>(shard)];
+  runtime::MutexLock lock(&s.mu);
+  io::StateImage image = MakeShardImage(shard);
   image.state = CaptureEngineState(*s.engine, *s.classifier, s.detector.get());
   return io::EncodeStateImage(image);
 }
 
 std::string ShardedMonitor::ShipShard(int shard) {
-  runtime::Router::Exclusive exclusive = router_.LockTable();
-  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
-    throw std::out_of_range("ShardedMonitor::ShipShard: shard " +
-                            std::to_string(shard) + " not in a table of " +
-                            std::to_string(shards_.size()) + " shards");
-  }
-  Shard& s = shards_[static_cast<size_t>(shard)];
+  runtime::WriterLock table(&router_.TableMutex());
+  router_.RequireSlot(shard);
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  runtime::MutexLock lock(&s.mu);
   io::StateImage image = MakeShardImage(shard);
   image.state = CaptureEngineState(*s.engine, *s.classifier, s.detector.get());
   std::string bytes = io::EncodeStateImage(image);
@@ -386,42 +404,49 @@ void ShardedMonitor::RestoreShard(int shard, const std::string& bytes) {
         std::to_string(schema_.num_features) + ", " +
         std::to_string(schema_.num_classes) + ")");
   }
-  runtime::Router::Exclusive exclusive = router_.LockTable();
-  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
-    throw std::out_of_range("ShardedMonitor::RestoreShard: shard " +
-                            std::to_string(shard) + " not in a table of " +
-                            std::to_string(shards_.size()) + " shards");
-  }
-  Shard fresh;
-  fresh.classifier = std::move(image.state.classifier);
-  fresh.detector = std::move(image.state.detector);
-  fresh.engine = std::make_unique<MonitorEngine>(
-      schema_, fresh.classifier.get(), fresh.detector.get(), config_,
-      MakeShardHooks(shard), pending_capacity_);
-  fresh.engine->Restore(image.state.snapshot);  // Clears any pause state.
-  shards_[static_cast<size_t>(shard)] = std::move(fresh);
+  runtime::WriterLock table(&router_.TableMutex());
+  router_.RequireSlot(shard);
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  runtime::MutexLock lock(&s.mu);
+  auto engine = std::make_unique<MonitorEngine>(
+      schema_, image.state.classifier.get(), image.state.detector.get(),
+      config_, MakeShardHooks(shard), pending_capacity_);
+  engine->Restore(image.state.snapshot);  // Clears any pause state.
+  // Commit — no-throw moves, old engine first (see DrainShard).
+  s.engine = std::move(engine);
+  s.classifier = std::move(image.state.classifier);
+  s.detector = std::move(image.state.detector);
 }
 
 EngineSnapshot ShardedMonitor::ShardSnapshot(int shard) const {
-  runtime::Router::Guard guard = router_.AcquireSlot(shard);
-  return shards_[static_cast<size_t>(guard.slot)].engine->Snapshot();
+  runtime::ReaderLock table(&router_.TableMutex());
+  router_.RequireSlot(shard);
+  const Shard& s = *shards_[static_cast<size_t>(shard)];
+  runtime::MutexLock lock(&s.mu);
+  return s.engine->Snapshot();
 }
 
 PrequentialResult ShardedMonitor::ShardResult(int shard) const {
-  runtime::Router::Guard guard = router_.AcquireSlot(shard);
-  return shards_[static_cast<size_t>(guard.slot)].engine->Result();
+  runtime::ReaderLock table(&router_.TableMutex());
+  router_.RequireSlot(shard);
+  const Shard& s = *shards_[static_cast<size_t>(shard)];
+  runtime::MutexLock lock(&s.mu);
+  return s.engine->Result();
 }
 
 std::vector<EngineSnapshot> ShardedMonitor::CollectSnapshots() const {
   // Slots are locked one at a time (table lock re-taken per slot), so
   // producers on other shards keep flowing while we sweep; each per-shard
-  // snapshot is internally consistent, the fleet view is advisory.
+  // snapshot is internally consistent, the fleet view is advisory. The
+  // table never shrinks, so the count stays a valid lower bound.
   const int n = router_.slots();
   std::vector<EngineSnapshot> snapshots;
   snapshots.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    runtime::Router::Guard guard = router_.AcquireSlot(i);
-    snapshots.push_back(shards_[static_cast<size_t>(guard.slot)].engine->Snapshot());
+    runtime::ReaderLock table(&router_.TableMutex());
+    const Shard& s = *shards_[static_cast<size_t>(i)];
+    runtime::MutexLock lock(&s.mu);
+    snapshots.push_back(s.engine->Snapshot());
   }
   return snapshots;
 }
@@ -443,8 +468,10 @@ uint64_t ShardedMonitor::SumOverShards(
   uint64_t sum = 0;
   const int n = router_.slots();
   for (int i = 0; i < n; ++i) {
-    runtime::Router::Guard guard = router_.AcquireSlot(i);
-    sum += read(*shards_[static_cast<size_t>(guard.slot)].engine);
+    runtime::ReaderLock table(&router_.TableMutex());
+    const Shard& s = *shards_[static_cast<size_t>(i)];
+    runtime::MutexLock lock(&s.mu);
+    sum += read(*s.engine);
   }
   return sum;
 }

@@ -224,12 +224,26 @@ class ShardedMonitor {
  private:
   friend class ShardedMonitorBuilder;
 
+  /// One slot of the striped-lock discipline: the slot mutex lives in the
+  /// same struct as the engine it guards, so Thread Safety Analysis can
+  /// tie them together (`CCD_GUARDED_BY(mu)` needs a syntactic path from
+  /// the access to its capability — call sites bind `Shard& s = *shards_[i]`
+  /// once and lock `s.mu`). Heap-allocated (Mutex is immovable) and never
+  /// replaced once published, so a reference obtained under the table
+  /// lock stays valid for the monitor's lifetime.
   struct Shard {
+    Shard(std::unique_ptr<OnlineClassifier> c, std::unique_ptr<DriftDetector> d,
+          std::unique_ptr<MonitorEngine> e)
+        : classifier(std::move(c)), detector(std::move(d)),
+          engine(std::move(e)) {}
+
+    /// mutable: const sweeps (SerializeShard, Snapshot, ...) still lock.
+    mutable runtime::Mutex mu;
     // Declaration order matters: the engine holds raw pointers into the
     // components, so they must outlive it on destruction.
-    std::unique_ptr<OnlineClassifier> classifier;
-    std::unique_ptr<DriftDetector> detector;
-    std::unique_ptr<MonitorEngine> engine;
+    std::unique_ptr<OnlineClassifier> classifier CCD_GUARDED_BY(mu);
+    std::unique_ptr<DriftDetector> detector CCD_GUARDED_BY(mu);
+    std::unique_ptr<MonitorEngine> engine CCD_GUARDED_BY(mu);
   };
 
   ShardedMonitor(const StreamSchema& schema, const PrequentialConfig& config,
@@ -255,7 +269,7 @@ class ShardedMonitor {
   io::StateImage MakeShardImage(int shard) const;
 
   /// Builds shard `shard`'s fresh components + engine (seed_ + shard).
-  Shard MakeShard(int shard) const;
+  std::unique_ptr<Shard> MakeShard(int shard) const;
   /// Engine hooks forwarding to hooks_ with `shard` attached; empty slots
   /// stay empty so uninstalled callbacks keep costing nothing.
   EngineHooks MakeShardHooks(int shard) const;
@@ -281,14 +295,17 @@ class ShardedMonitor {
   const uint64_t merge_every_;  ///< 0 = no periodic merge.
   const ShardedHooks hooks_;
 
-  mutable runtime::Router router_;
-  /// Parallel to the router's slot table. Mutated only under the exclusive
-  /// table lock; shards_[i] is read under the table lock + slot i's lock.
-  std::vector<Shard> shards_;
+  runtime::Router router_;
+  /// Parallel to the router's slot table: the vector itself is guarded by
+  /// the table capability (readers index it, only the exclusive writer
+  /// grows it), each entry's payload by its own Shard::mu. Lock order is
+  /// table-then-slot, always.
+  std::vector<std::unique_ptr<Shard>> shards_
+      CCD_GUARDED_BY(router_.TableMutex());
   std::atomic<uint64_t> completed_total_{0};
-  /// Generation of the last Persist() from this process (mutated under
-  /// the exclusive table lock; Open() resumes from the manifest's value).
-  uint64_t generation_ = 0;
+  /// Generation of the last Persist() from this process (Open() resumes
+  /// from the manifest's value).
+  uint64_t generation_ CCD_GUARDED_BY(router_.TableMutex()) = 0;
 };
 
 /// Fluent composer of a ShardedMonitor, mirroring api::MonitorBuilder:

@@ -3,9 +3,9 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
-#include <mutex>
 #include <utility>
 
+#include "runtime/sync.h"
 #include "runtime/thread_pool.h"
 #include "utils/table.h"
 
@@ -345,7 +345,7 @@ SuiteResult Suite::Run() const {
   SuiteResult out;
   out.cells.resize(cells.size());
   std::vector<std::exception_ptr> errors(cells.size());
-  std::mutex callback_mutex;
+  runtime::Mutex callback_mutex;
   {
     runtime::ThreadPool pool(threads_ < 1
                                  ? runtime::ThreadPool::DefaultThreads()
@@ -355,7 +355,7 @@ SuiteResult Suite::Run() const {
         try {
           PrequentialResult r = runner(cells[i]);
           if (on_cell_done_) {
-            std::lock_guard<std::mutex> lock(callback_mutex);
+            runtime::MutexLock lock(&callback_mutex);
             on_cell_done_(cells[i], r);
           }
           out.cells[i] = SuiteCellResult{std::move(cells[i]), std::move(r)};

@@ -26,6 +26,15 @@ int Argmax(const std::vector<double>& scores) {
 
 /// Restores `*flag` to false even when the hook throws, so an engine whose
 /// callback failed is not bricked into permanent "reentrant" rejections.
+///
+/// Deliberately *not* a runtime::Mutex capability: the no-reentry
+/// invariant crosses a type-erased std::function boundary (engine →
+/// user hook → engine), which Thread Safety Analysis cannot see through —
+/// a phantom capability here would compile-time-check nothing. The
+/// invariant stays a runtime guard (std::logic_error on mutating
+/// reentry), pinned by monitor_test's reentrancy regression tests; the
+/// engine itself is externally synchronized by its owner's slot lock
+/// (CCD_GUARDED_BY on api::ShardedMonitor::Shard::engine).
 class HookScope {
  public:
   explicit HookScope(bool* flag) : flag_(flag) { *flag_ = true; }

@@ -1,9 +1,8 @@
 #include "eval/sharded.h"
 
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 
+#include "runtime/sync.h"
 #include "stream/stream.h"
 
 namespace ccd {
@@ -75,15 +74,12 @@ class ShardedRun {
         slots_(blocks_.size()) {}
 
   PrequentialResult Run() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      MaybeSubmitLocked();
+    runtime::MutexLock lock(&mutex_);
+    MaybeSubmitLocked();
+    while (mat_in_flight_ || eval_in_flight_ ||
+           (!aborted_ && eval_done_ != blocks_.size())) {
+      done_.Wait(mutex_);
     }
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this] {
-      return !mat_in_flight_ && !eval_in_flight_ &&
-             (aborted_ || eval_done_ == blocks_.size());
-    });
     if (error_) std::rethrow_exception(error_);
     return std::move(result_);
   }
@@ -94,7 +90,7 @@ class ShardedRun {
   /// Submits every task whose dependencies are met. Invariants: one MAT
   /// and one EVAL in flight at most; MAT(k) needs MAT(k-1) done and
   /// k < eval_done + lookahead; EVAL(k) needs MAT(k) and EVAL(k-1) done.
-  void MaybeSubmitLocked() {
+  void MaybeSubmitLocked() CCD_REQUIRES(mutex_) {
     if (aborted_) return;
     if (!mat_in_flight_ && mat_done_ < blocks_.size() &&
         mat_done_ < eval_done_ + kLookahead) {
@@ -113,12 +109,12 @@ class ShardedRun {
     try {
       const uint64_t size = blocks_[k].second - blocks_[k].first;
       std::vector<Instance> block = Take(stream_, static_cast<size_t>(size));
-      std::lock_guard<std::mutex> lock(mutex_);
+      runtime::MutexLock lock(&mutex_);
       slots_[k] = std::move(block);
       mat_in_flight_ = false;
       ++mat_done_;
       MaybeSubmitLocked();
-      done_.notify_all();
+      done_.NotifyAll();
     } catch (...) {
       Fail(/*was_mat=*/true);
     }
@@ -129,7 +125,7 @@ class ShardedRun {
       EngineState prev;
       std::vector<Instance> block;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        runtime::MutexLock lock(&mutex_);
         prev = std::move(handoff_);
         block = std::move(slots_[k]);
         slots_[k].clear();
@@ -153,7 +149,7 @@ class ShardedRun {
       } else {
         next = CaptureEngineState(engine, *classifier, detector);
       }
-      std::lock_guard<std::mutex> lock(mutex_);
+      runtime::MutexLock lock(&mutex_);
       if (last) {
         result_ = std::move(result);
       } else {
@@ -162,14 +158,14 @@ class ShardedRun {
       eval_in_flight_ = false;
       ++eval_done_;
       MaybeSubmitLocked();
-      done_.notify_all();
+      done_.NotifyAll();
     } catch (...) {
       Fail(/*was_mat=*/false);
     }
   }
 
   void Fail(bool was_mat) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    runtime::MutexLock lock(&mutex_);
     if (!error_) error_ = std::current_exception();
     aborted_ = true;
     if (was_mat) {
@@ -177,7 +173,7 @@ class ShardedRun {
     } else {
       eval_in_flight_ = false;
     }
-    done_.notify_all();
+    done_.NotifyAll();
   }
 
   InstanceStream* stream_;
@@ -187,17 +183,20 @@ class ShardedRun {
   runtime::ThreadPool* pool_;
   const std::vector<std::pair<uint64_t, uint64_t>> blocks_;
 
-  std::mutex mutex_;
-  std::condition_variable done_;
-  std::vector<std::vector<Instance>> slots_;  ///< Materialized blocks.
-  EngineState handoff_;       ///< State between EVAL(k) and EVAL(k+1).
-  PrequentialResult result_;  ///< Written by the last EVAL.
-  size_t mat_done_ = 0;
-  size_t eval_done_ = 0;
-  bool mat_in_flight_ = false;
-  bool eval_in_flight_ = false;
-  bool aborted_ = false;
-  std::exception_ptr error_;
+  runtime::Mutex mutex_;
+  runtime::CondVar done_;
+  /// Materialized blocks.
+  std::vector<std::vector<Instance>> slots_ CCD_GUARDED_BY(mutex_);
+  /// State between EVAL(k) and EVAL(k+1).
+  EngineState handoff_ CCD_GUARDED_BY(mutex_);
+  /// Written by the last EVAL.
+  PrequentialResult result_ CCD_GUARDED_BY(mutex_);
+  size_t mat_done_ CCD_GUARDED_BY(mutex_) = 0;
+  size_t eval_done_ CCD_GUARDED_BY(mutex_) = 0;
+  bool mat_in_flight_ CCD_GUARDED_BY(mutex_) = false;
+  bool eval_in_flight_ CCD_GUARDED_BY(mutex_) = false;
+  bool aborted_ CCD_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ CCD_GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -22,8 +22,7 @@ bool ReadExact(int fd, char* data, size_t size, const char* what) {
     ssize_t n = ::read(fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw WireError(what, done,
-                      std::string("frame read failed: ") + std::strerror(errno));
+      throw WireError(what, done, "frame read failed: " + ErrnoText(errno));
     }
     if (n == 0) {
       if (done == 0) return false;
@@ -47,9 +46,7 @@ void SendAll(int fd, const char* data, size_t size, const char* what) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw WireError(what, done,
-                      std::string("frame write failed: ") +
-                          std::strerror(errno));
+      throw WireError(what, done, "frame write failed: " + ErrnoText(errno));
     }
     done += static_cast<size_t>(n);
   }

@@ -25,8 +25,7 @@ int MakeUnixSocket(const std::string& path) {
   }
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    throw WireError(path, 0,
-                    std::string("socket() failed: ") + std::strerror(errno));
+    throw WireError(path, 0, "socket() failed: " + ErrnoText(errno));
   }
   return fd;
 }
@@ -58,15 +57,13 @@ FrameServer::FrameServer(std::string socket_path, Handler handler,
       0) {
     int saved = errno;
     ::close(listen_fd_);
-    throw WireError(path_, 0,
-                    std::string("bind() failed: ") + std::strerror(saved));
+    throw WireError(path_, 0, "bind() failed: " + ErrnoText(saved));
   }
   if (::listen(listen_fd_, 64) != 0) {
     int saved = errno;
     ::close(listen_fd_);
     ::unlink(path_.c_str());
-    throw WireError(path_, 0,
-                    std::string("listen() failed: ") + std::strerror(saved));
+    throw WireError(path_, 0, "listen() failed: " + ErrnoText(saved));
   }
   accept_thread_ = std::make_unique<std::thread>([this] { AcceptLoop(); });
 }
@@ -90,14 +87,14 @@ void FrameServer::AcceptLoop() {
 }
 
 bool FrameServer::TrackConnection(int fd) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  runtime::MutexLock lock(&mutex_);
   if (stopping_.load()) return false;
   connections_.push_back(fd);
   return true;
 }
 
 void FrameServer::UntrackConnection(int fd) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  runtime::MutexLock lock(&mutex_);
   for (size_t i = 0; i < connections_.size(); ++i) {
     if (connections_[i] == fd) {
       connections_.erase(connections_.begin() + static_cast<long>(i));
@@ -112,9 +109,9 @@ void FrameServer::Serve(int fd) {
     while (ReadFrame(fd, &request)) {
       WriteFrame(fd, handler_(request));
     }
-  } catch (...) {
-    // A torn frame, hung-up peer, or throwing handler ends *this*
-    // connection; the server keeps accepting.
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Deliberately swallowed: a torn frame, hung-up peer, or throwing
+    // handler ends *this* connection; the server keeps accepting.
   }
   UntrackConnection(fd);
   ::close(fd);
@@ -129,7 +126,7 @@ void FrameServer::Stop() {
   // closed by their owners (AcceptLoop / Serve) once they observe EOF.
   ::shutdown(listen_fd_, SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    runtime::MutexLock lock(&mutex_);
     for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_ && accept_thread_->joinable()) accept_thread_->join();
@@ -147,8 +144,7 @@ FrameClient::FrameClient(const std::string& socket_path) {
     int saved = errno;
     ::close(fd_);
     fd_ = -1;
-    throw WireError(socket_path, 0,
-                    std::string("connect() failed: ") + std::strerror(saved));
+    throw WireError(socket_path, 0, "connect() failed: " + ErrnoText(saved));
   }
 }
 

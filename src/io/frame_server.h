@@ -4,10 +4,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "runtime/sync.h"
 #include "runtime/thread_pool.h"
 
 namespace ccd {
@@ -65,8 +65,9 @@ class FrameServer {
   runtime::ThreadPool* pool_;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
-  std::mutex mutex_;                ///< Guards connections_.
-  std::vector<int> connections_;    ///< Live connection fds.
+  runtime::Mutex mutex_;
+  /// Live connection fds — Stop() shuts them all down under the lock.
+  std::vector<int> connections_ CCD_GUARDED_BY(mutex_);
   std::unique_ptr<std::thread> accept_thread_;
 };
 

@@ -20,7 +20,7 @@ namespace {
 /// Errno-flavored WireError: persistence failures carry the same typed
 /// error as wire corruption, with the file standing in for the field.
 [[noreturn]] void FailIo(const std::string& path, const std::string& what) {
-  throw WireError(path, 0, what + ": " + std::strerror(errno));
+  throw WireError(path, 0, what + ": " + ErrnoText(errno));
 }
 
 /// EINTR-proof full write.

@@ -1,9 +1,16 @@
 #include "io/wire.h"
 
 #include <cstring>
+#include <system_error>
 
 namespace ccd {
 namespace io {
+
+std::string ErrnoText(int err) {
+  // std::error_code::message() formats into a caller-owned string — no
+  // shared static buffer, unlike std::strerror.
+  return std::error_code(err, std::generic_category()).message();
+}
 
 const char* TagName(Tag tag) {
   switch (tag) {

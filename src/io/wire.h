@@ -189,6 +189,13 @@ std::string SealEnvelope(const std::string& body);
 /// CRC mismatch — the file-corruption half of the corruption matrix.
 std::string OpenEnvelope(const std::string& bytes);
 
+/// Thread-safe strerror: the message for `err` (an errno value) without
+/// the static buffer std::strerror shares between threads — the io layer
+/// reports errno from concurrently-serving FrameServer handlers, where
+/// strerror's buffer is a data race (flagged by clang-tidy's
+/// concurrency-mt-unsafe).
+std::string ErrnoText(int err);
+
 }  // namespace io
 }  // namespace ccd
 

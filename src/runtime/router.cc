@@ -16,13 +16,8 @@ const char* RoutingModeName(RoutingMode mode) {
   return "unknown";
 }
 
-Router::Router(int slots, RoutingMode mode) : mode_(mode) {
-  if (slots < 1) slots = 1;
-  slot_mutexes_.reserve(static_cast<size_t>(slots));
-  for (int i = 0; i < slots; ++i) {
-    slot_mutexes_.push_back(std::make_unique<std::mutex>());
-  }
-}
+Router::Router(int slots, RoutingMode mode)
+    : slots_(slots < 1 ? 1 : slots), mode_(mode) {}
 
 uint64_t Router::HashKey(uint64_t key) {
   // splitmix64 finalizer (Steele, Lea & Flood): a full-avalanche bijection
@@ -42,62 +37,36 @@ int Router::KeySlot(uint64_t key, int slots) {
 }
 
 int Router::slots() const {
-  std::shared_lock<std::shared_mutex> lock(table_mutex_);
-  return static_cast<int>(slot_mutexes_.size());
+  ReaderLock lock(&table_mutex_);
+  return slots_;
 }
 
-Router::Guard Router::AcquireKey(uint64_t key) {
-  Guard guard;
-  guard.table = std::shared_lock<std::shared_mutex>(table_mutex_);
-  guard.slot = KeySlot(key, static_cast<int>(slot_mutexes_.size()));
-  guard.slot_lock =
-      std::unique_lock<std::mutex>(*slot_mutexes_[static_cast<size_t>(guard.slot)]);
-  return guard;
-}
+int Router::RouteKey(uint64_t key) const { return KeySlot(key, slots_); }
 
-Router::Guard Router::AcquireNext() {
+int Router::RouteNext() {
   if (mode_ != RoutingMode::kRoundRobin) {
     throw std::logic_error(
-        "Router::AcquireNext: router is in hash-key mode; route keyed "
-        "traffic with AcquireKey() so per-key ordering holds");
+        "Router::RouteNext: router is in hash-key mode; route keyed "
+        "traffic with RouteKey() so per-key ordering holds");
   }
-  Guard guard;
-  guard.table = std::shared_lock<std::shared_mutex>(table_mutex_);
   const uint64_t n = next_.fetch_add(1, std::memory_order_relaxed);
-  guard.slot = static_cast<int>(n % slot_mutexes_.size());
-  guard.slot_lock =
-      std::unique_lock<std::mutex>(*slot_mutexes_[static_cast<size_t>(guard.slot)]);
-  return guard;
+  return static_cast<int>(n % static_cast<uint64_t>(slots_));
 }
 
-Router::Guard Router::AcquireSlot(int slot) {
-  Guard guard;
-  guard.table = std::shared_lock<std::shared_mutex>(table_mutex_);
-  if (slot < 0 || static_cast<size_t>(slot) >= slot_mutexes_.size()) {
-    throw std::out_of_range("Router::AcquireSlot: slot " +
+void Router::RequireSlot(int slot) const {
+  if (slot < 0 || slot >= slots_) {
+    throw std::out_of_range("Router::RequireSlot: slot " +
                             std::to_string(slot) + " not in a table of " +
-                            std::to_string(slot_mutexes_.size()) + " slots");
+                            std::to_string(slots_) + " slots");
   }
-  guard.slot = slot;
-  guard.slot_lock =
-      std::unique_lock<std::mutex>(*slot_mutexes_[static_cast<size_t>(slot)]);
-  return guard;
 }
 
-Router::Exclusive Router::LockTable() {
-  Exclusive exclusive;
-  exclusive.table = std::unique_lock<std::shared_mutex>(table_mutex_);
-  return exclusive;
-}
-
-int Router::AddSlot(const Exclusive& exclusive) {
-  if (!exclusive.table.owns_lock() ||
-      exclusive.table.mutex() != &table_mutex_) {
+int Router::AddSlot(const WriterLock& table) {
+  if (table.mutex() != &table_mutex_) {
     throw std::logic_error(
         "Router::AddSlot: requires this router's own exclusive table lock");
   }
-  slot_mutexes_.push_back(std::make_unique<std::mutex>());
-  return static_cast<int>(slot_mutexes_.size()) - 1;
+  return slots_++;
 }
 
 }  // namespace runtime

@@ -3,10 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <shared_mutex>
-#include <vector>
+
+#include "runtime/sync.h"
 
 namespace ccd {
 namespace runtime {
@@ -19,21 +17,31 @@ enum class RoutingMode {
 
 const char* RoutingModeName(RoutingMode mode);
 
-/// Concurrency spine of a sharded serving surface: a slot table (one slot
-/// per shard) behind a striped-lock discipline. Callers acquire a Guard —
-/// a shared lock on the table plus the exclusive lock of exactly one slot —
-/// so pushes routed to *different* slots run fully in parallel while two
-/// pushes to the same slot serialize on that slot's mutex only. Resharding
-/// (adding a slot, swapping the state behind one) takes the table lock
-/// exclusively, which drains every in-flight Guard first; the table is
-/// never mutated under a reader.
+/// Concurrency spine of a sharded serving surface: the slot table of a
+/// striped-lock discipline, with the discipline itself stated in Thread
+/// Safety Analysis annotations rather than prose.
 ///
-/// The Router deliberately owns no payload: the engines live in the layer
-/// above (api::ShardedMonitor), which stores them in a vector parallel to
-/// the slot table. Lock order is table-then-slot everywhere, and a Guard
-/// holds at most one slot mutex, so the discipline is deadlock-free by
-/// construction — provided slot-holding code never re-enters the Router
-/// (see the reentrancy notes on api::ShardedMonitor's callbacks).
+/// The Router owns the *table capability* (TableMutex()) and the routing
+/// math; the per-slot mutexes and the payload live in the layer above
+/// (api::ShardedMonitor keeps each shard's mutex inside the shard it
+/// guards, where CCD_GUARDED_BY can see it). The lock order is
+/// table-then-slot everywhere, and slot-holding code holds exactly one
+/// slot, so the discipline is deadlock-free by construction — provided
+/// slot-holding code never re-enters the Router (see the reentrancy notes
+/// on api::ShardedMonitor's callbacks).
+///
+/// Annotated contract — violations are compile errors under clang
+/// (-Wthread-safety; proven by tests/negative_compile/):
+///  * RouteKey()/RouteNext() CCD_REQUIRES_SHARED(table): routing reads the
+///    slot count, so a reader hold on the table pins it. Pushes routed to
+///    different slots run fully in parallel; two pushes to the same slot
+///    serialize on that slot's mutex only.
+///  * AddSlot() CCD_REQUIRES(table) and takes the caller's WriterLock by
+///    reference: growing the table demands *this* router's exclusive
+///    table lock — every in-flight reader has drained, none can start.
+///    The WriterLock parameter makes the requirement part of the
+///    signature on every compiler; clang additionally rejects callers
+///    that don't hold it.
 class Router {
  public:
   /// `slots` is clamped to >= 1.
@@ -56,48 +64,44 @@ class Router {
 
   RoutingMode mode() const { return mode_; }
 
+  /// The table capability. Readers (ReaderLock) route and access existing
+  /// slots; the exclusive writer (WriterLock) owns the reshard window —
+  /// AddSlot() and payload swaps in the layer above.
+  SharedMutex& TableMutex() const CCD_RETURN_CAPABILITY(table_mutex_) {
+    return table_mutex_;
+  }
+
   /// Current slot count. Takes the table lock; racing an AddSlot() the
-  /// caller may see either count, so don't use the result to index slots —
-  /// acquire a Guard instead.
-  int slots() const;
+  /// caller may see either count, so don't use the result to route —
+  /// hold a ReaderLock and call RouteKey()/RouteNext() instead.
+  int slots() const CCD_EXCLUDES(table_mutex_);
 
-  /// Shared table lock + exclusive lock of one slot. Movable; releases
-  /// slot first, then the table view, on destruction.
-  struct Guard {
-    std::shared_lock<std::shared_mutex> table;
-    std::unique_lock<std::mutex> slot_lock;
-    int slot = -1;
-  };
+  /// The slot `key` routes to in the current table (any mode —
+  /// round-robin tables still support keyed lookups, e.g. to label a
+  /// parked prediction). The caller's shared table hold keeps the result
+  /// valid.
+  int RouteKey(uint64_t key) const CCD_REQUIRES_SHARED(table_mutex_);
 
-  /// Routes by key hash (any mode — round-robin tables still support keyed
-  /// lookups, e.g. to label a parked prediction).
-  Guard AcquireKey(uint64_t key);
+  /// The next slot in round-robin order. Throws std::logic_error in
+  /// kHashKey mode: silently round-robining keyed traffic would break the
+  /// per-key ordering the hash contract promises.
+  int RouteNext() CCD_REQUIRES_SHARED(table_mutex_);
 
-  /// Routes to the next slot in round-robin order. Throws std::logic_error
-  /// in kHashKey mode: silently round-robining keyed traffic would break
-  /// the per-key ordering the hash contract promises.
-  Guard AcquireNext();
+  /// Bounds-checks a caller-supplied slot index (e.g. the shard id a
+  /// Prediction ticket names) against the current table; throws
+  /// std::out_of_range when it is not in the table.
+  void RequireSlot(int slot) const CCD_REQUIRES_SHARED(table_mutex_);
 
-  /// Locks a specific slot (e.g. the shard id a Prediction ticket names).
-  /// Throws std::out_of_range when `slot` is not in the table.
-  Guard AcquireSlot(int slot);
-
-  /// Exclusive table lock: every Guard has drained and none can start
-  /// until release. The reshard window — the holder may AddSlot() and swap
-  /// payload state in the layer above.
-  struct Exclusive {
-    std::unique_lock<std::shared_mutex> table;
-  };
-  Exclusive LockTable();
-
-  /// Appends one slot (with its mutex) under an exclusive lock and returns
-  /// its index. Subsequent keyed routes hash over the grown table.
-  int AddSlot(const Exclusive& exclusive);
+  /// Appends one slot under the exclusive table lock and returns its
+  /// index. Subsequent keyed routes hash over the grown table. Throws
+  /// std::logic_error when `table` locks anything but this router's own
+  /// table mutex (the runtime half of the contract; clang enforces the
+  /// static half).
+  int AddSlot(const WriterLock& table) CCD_REQUIRES(table_mutex_);
 
  private:
-  mutable std::shared_mutex table_mutex_;
-  /// unique_ptr: std::mutex is immovable, the vector is not.
-  std::vector<std::unique_ptr<std::mutex>> slot_mutexes_;
+  mutable SharedMutex table_mutex_;
+  int slots_ CCD_GUARDED_BY(table_mutex_);
   const RoutingMode mode_;
   std::atomic<uint64_t> next_{0};  ///< Round-robin cursor.
 };

@@ -1,0 +1,175 @@
+#ifndef CCD_RUNTIME_SYNC_H_
+#define CCD_RUNTIME_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// Capability-annotated synchronization primitives — the only lock types
+/// src/ is allowed to use (tools/lint_determinism.py enforces the ban on
+/// raw std::mutex outside this header).
+///
+/// Under clang, the CCD_* macros expand to Thread Safety Analysis
+/// attributes, so lock discipline becomes a *compile-time* property:
+/// reading a CCD_GUARDED_BY field without holding its mutex, or calling a
+/// CCD_REQUIRES function without the capability, is a -Wthread-safety
+/// error (CI builds the tree with clang and -Werror; see
+/// tests/negative_compile/ for the proofs that violations are rejected).
+/// Under gcc — the local toolchain — every macro degrades to a no-op and
+/// the wrappers are zero-cost veneers over the std primitives, so the
+/// annotated tree builds everywhere and TSan still checks the dynamic
+/// side.
+///
+/// What the analysis can and cannot see here:
+///  * It is purely syntactic. A capability is an *expression*
+///    (`mu`, `s.mu`, `router_.TableMutex()`), so dynamically-indexed locks
+///    (`mutexes[i]`) are invisible to it. The concurrency layer is shaped
+///    around that limit: a shard's mutex lives in the same struct as the
+///    state it guards, and call sites bind `Shard& s = *shards_[i]` once
+///    so the lock and the guarded access share the base expression `s`.
+///  * Locks handed through type-erased boundaries (std::function callbacks)
+///    are likewise invisible — MonitorEngine's hook-reentrancy invariant
+///    stays a runtime check (see eval/engine.cc HookScope).
+
+// Base wrapper: expands to the TSA attribute under clang, vanishes
+// elsewhere. The argument is an attribute spelling, not an expression, so
+// it cannot be parenthesized. NOLINT(bugprone-macro-parentheses)
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CCD_TSA(x) __attribute__((x))  // NOLINT(bugprone-macro-parentheses)
+#endif
+#endif
+#ifndef CCD_TSA
+#define CCD_TSA(x)
+#endif
+
+#define CCD_CAPABILITY(name) CCD_TSA(capability(name))
+#define CCD_SCOPED_CAPABILITY CCD_TSA(scoped_lockable)
+#define CCD_GUARDED_BY(x) CCD_TSA(guarded_by(x))
+#define CCD_PT_GUARDED_BY(x) CCD_TSA(pt_guarded_by(x))
+#define CCD_REQUIRES(...) CCD_TSA(requires_capability(__VA_ARGS__))
+#define CCD_REQUIRES_SHARED(...) \
+  CCD_TSA(requires_shared_capability(__VA_ARGS__))
+#define CCD_ACQUIRE(...) CCD_TSA(acquire_capability(__VA_ARGS__))
+#define CCD_ACQUIRE_SHARED(...) CCD_TSA(acquire_shared_capability(__VA_ARGS__))
+#define CCD_RELEASE(...) CCD_TSA(release_capability(__VA_ARGS__))
+#define CCD_RELEASE_SHARED(...) CCD_TSA(release_shared_capability(__VA_ARGS__))
+#define CCD_RELEASE_GENERIC(...) CCD_TSA(release_generic_capability(__VA_ARGS__))
+#define CCD_TRY_ACQUIRE(...) CCD_TSA(try_acquire_capability(__VA_ARGS__))
+#define CCD_EXCLUDES(...) CCD_TSA(locks_excluded(__VA_ARGS__))
+#define CCD_ASSERT_CAPABILITY(x) CCD_TSA(assert_capability(x))
+#define CCD_RETURN_CAPABILITY(x) CCD_TSA(lock_returned(x))
+#define CCD_NO_THREAD_SAFETY_ANALYSIS CCD_TSA(no_thread_safety_analysis)
+
+namespace ccd {
+namespace runtime {
+
+/// std::mutex as a declared capability. Prefer MutexLock over manual
+/// Lock()/Unlock() pairs.
+class CCD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CCD_ACQUIRE() { mu_.lock(); }
+  void Unlock() CCD_RELEASE() { mu_.unlock(); }
+  bool TryLock() CCD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling so std::condition_variable_any can release and
+  // reacquire this mutex inside CondVar::Wait(). Annotated exactly like
+  // Lock()/Unlock(): user code calling these is analyzed the same way.
+  void lock() CCD_ACQUIRE() { mu_.lock(); }
+  void unlock() CCD_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex as a declared capability: one writer or many readers.
+class CCD_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() CCD_ACQUIRE() { mu_.lock(); }
+  void Unlock() CCD_RELEASE() { mu_.unlock(); }
+  void LockShared() CCD_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() CCD_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive hold of a Mutex for the enclosing scope.
+class CCD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CCD_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() CCD_RELEASE() { mu_->Unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared (reader) hold of a SharedMutex.
+class CCD_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) CCD_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  ~ReaderLock() CCD_RELEASE_GENERIC() { mu_->UnlockShared(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) hold of a SharedMutex. Functions that demand
+/// proof of exclusivity across a call boundary take a `const WriterLock&`
+/// (e.g. Router::AddSlot): under clang the analysis checks the capability
+/// statically, and mutex() lets the callee verify lock *identity* at
+/// runtime on every build.
+class CCD_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) CCD_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() CCD_RELEASE() { mu_->Unlock(); }
+
+  const SharedMutex* mutex() const { return mu_; }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable paired with runtime::Mutex. Wait() demands the
+/// capability, so a wait outside the lock is a compile error under clang;
+/// call it in an explicit `while (!predicate)` loop — the analysis cannot
+/// see through predicate lambdas, so the std-style overloads are not
+/// offered.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen: always re-check the predicate.
+  void Wait(Mutex& mu) CCD_REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace runtime
+}  // namespace ccd
+
+#endif  // CCD_RUNTIME_SYNC_H_

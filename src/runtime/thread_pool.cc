@@ -1,6 +1,5 @@
 #include "runtime/thread_pool.h"
 
-#include <atomic>
 #include <exception>
 #include <utility>
 
@@ -17,24 +16,24 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (!queue_.empty() || in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 int ThreadPool::DefaultThreads() {
@@ -46,8 +45,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stop_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -55,9 +54,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -84,8 +83,8 @@ void ParallelFor(int threads, std::size_t n,
 
 void RunThreads(int threads, const std::function<void(int)>& fn) {
   if (threads < 1) threads = 1;
-  std::mutex mutex;
-  std::condition_variable barrier;
+  Mutex mutex;
+  CondVar barrier;
   int ready = 0;
   bool go = false;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
@@ -94,10 +93,10 @@ void RunThreads(int threads, const std::function<void(int)>& fn) {
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       {
-        std::unique_lock<std::mutex> lock(mutex);
+        MutexLock lock(&mutex);
         ++ready;
-        barrier.notify_all();
-        barrier.wait(lock, [&] { return go; });
+        barrier.NotifyAll();
+        while (!go) barrier.Wait(mutex);
       }
       try {
         fn(t);
@@ -107,10 +106,10 @@ void RunThreads(int threads, const std::function<void(int)>& fn) {
     });
   }
   {
-    std::unique_lock<std::mutex> lock(mutex);
-    barrier.wait(lock, [&] { return ready == threads; });
+    MutexLock lock(&mutex);
+    while (ready != threads) barrier.Wait(mutex);
     go = true;
-    barrier.notify_all();
+    barrier.NotifyAll();
   }
   for (std::thread& worker : workers) worker.join();
   for (const std::exception_ptr& error : errors) {

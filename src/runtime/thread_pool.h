@@ -1,13 +1,13 @@
 #ifndef CCD_RUNTIME_THREAD_POOL_H_
 #define CCD_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/sync.h"
 
 namespace ccd {
 namespace runtime {
@@ -50,12 +50,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  ///< Tasks popped but not yet finished.
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ CCD_GUARDED_BY(mutex_);
+  /// Tasks popped but not yet finished.
+  std::size_t in_flight_ CCD_GUARDED_BY(mutex_) = 0;
+  bool stop_ CCD_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -26,6 +27,17 @@ namespace ccd {
 namespace {
 
 using test_util::ShortConfig;
+
+// ------------------------------------------------------------- ErrnoText
+
+TEST(ErrnoTextTest, DescribesKnownErrnoValuesNonEmpty) {
+  // The exact wording is libc-specific; what matters is that the helper
+  // yields a usable description without touching strerror()'s shared
+  // static buffer (it's called from concurrent FrameServer handlers).
+  EXPECT_FALSE(io::ErrnoText(ENOENT).empty());
+  EXPECT_FALSE(io::ErrnoText(ECONNRESET).empty());
+  EXPECT_NE(io::ErrnoText(ENOENT), io::ErrnoText(ECONNRESET));
+}
 
 // ------------------------------------------------------------ primitives
 

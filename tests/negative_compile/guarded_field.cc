@@ -1,0 +1,40 @@
+// Negative-compile case: a CCD_GUARDED_BY field touched without its lock.
+//
+// Compiled twice by cmake/NegativeCompile.cmake (clang only, with
+// -Werror=thread-safety):
+//   * control build (no defines)         — must COMPILE: the same access
+//     under a MutexLock is legal, proving the harness isn't rejecting
+//     everything.
+//   * -DCCD_EXPECT_VIOLATION=1           — must FAIL TO COMPILE: the
+//     unlocked write trips -Wthread-safety-analysis.
+//
+// This is the proof that the annotations in src/ are live: if someone
+// neuters CCD_GUARDED_BY (or drops -Wthread-safety from the gate), the
+// violation build starts succeeding and CMake aborts the configure.
+
+#include "runtime/sync.h"
+
+namespace {
+
+struct Account {
+  ccd::runtime::Mutex mu;
+  int balance CCD_GUARDED_BY(mu) = 0;
+};
+
+int Deposit(Account& account, int amount) {
+#if defined(CCD_EXPECT_VIOLATION)
+  account.balance += amount;  // no lock held: must not compile
+  return account.balance;
+#else
+  ccd::runtime::MutexLock lock(&account.mu);
+  account.balance += amount;
+  return account.balance;
+#endif
+}
+
+}  // namespace
+
+int TouchForLinker() {
+  Account account;
+  return Deposit(account, 1);
+}

@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -31,6 +30,7 @@
 #include "api/api.h"
 #include "eval/engine.h"
 #include "runtime/router.h"
+#include "runtime/sync.h"
 #include "testing_util.h"
 
 namespace ccd {
@@ -84,40 +84,51 @@ TEST(RouterTest, HashKeyIsPinnedAndStable) {
   EXPECT_THROW(Router::KeySlot(7, 0), std::invalid_argument);
 }
 
-TEST(RouterTest, GuardsRouteAndModeIsEnforced) {
+TEST(RouterTest, RoutesUnderSharedTableLockAndModeIsEnforced) {
   Router hash_router(4, RoutingMode::kHashKey);
   EXPECT_EQ(hash_router.slots(), 4);
   {
-    Router::Guard guard = hash_router.AcquireKey(42);
-    EXPECT_EQ(guard.slot, Router::KeySlot(42, 4));
-    EXPECT_TRUE(guard.slot_lock.owns_lock());
+    runtime::ReaderLock table(&hash_router.TableMutex());
+    EXPECT_EQ(hash_router.RouteKey(42), Router::KeySlot(42, 4));
+    // Round-robining keyed traffic would break per-key ordering — rejected.
+    EXPECT_THROW(hash_router.RouteNext(), std::logic_error);
+    EXPECT_THROW(hash_router.RequireSlot(4), std::out_of_range);
+    EXPECT_THROW(hash_router.RequireSlot(-1), std::out_of_range);
+    EXPECT_NO_THROW(hash_router.RequireSlot(3));
   }
-  // Round-robining keyed traffic would break per-key ordering — rejected.
-  EXPECT_THROW(hash_router.AcquireNext(), std::logic_error);
-  EXPECT_THROW(hash_router.AcquireSlot(4), std::out_of_range);
-  EXPECT_THROW(hash_router.AcquireSlot(-1), std::out_of_range);
 
   Router rr_router(3, RoutingMode::kRoundRobin);
+  runtime::ReaderLock table(&rr_router.TableMutex());
   for (int i = 0; i < 7; ++i) {
-    Router::Guard guard = rr_router.AcquireNext();
-    EXPECT_EQ(guard.slot, i % 3);
+    EXPECT_EQ(rr_router.RouteNext(), i % 3);
   }
   // Keyed lookups stay legal on a round-robin table (ticket labelling).
-  EXPECT_NO_THROW(rr_router.AcquireKey(7));
+  EXPECT_NO_THROW(rr_router.RouteKey(7));
+}
+
+/// The runtime half of the AddSlot lock-identity contract, exercised with
+/// the thread-safety analysis off: under clang the same call does not even
+/// compile (tests/negative_compile/add_slot_without_table_lock.cc proves
+/// it), so this body must opt out of the analysis to exist at all.
+void ExpectForeignLockRejected(Router& router) CCD_NO_THREAD_SAFETY_ANALYSIS {
+  Router other(1, RoutingMode::kHashKey);
+  runtime::WriterLock foreign(&other.TableMutex());
+  EXPECT_THROW(router.AddSlot(foreign), std::logic_error);
 }
 
 TEST(RouterTest, AddSlotGrowsTableUnderExclusiveLockOnly) {
   Router router(2, RoutingMode::kHashKey);
   {
-    Router::Exclusive exclusive = router.LockTable();
-    EXPECT_EQ(router.AddSlot(exclusive), 2);
+    runtime::WriterLock table(&router.TableMutex());
+    EXPECT_EQ(router.AddSlot(table), 2);
   }
   EXPECT_EQ(router.slots(), 3);
-  EXPECT_NO_THROW(router.AcquireSlot(2));
-  // A *different* router's lock is not good enough.
-  Router other(1, RoutingMode::kHashKey);
-  Router::Exclusive foreign = other.LockTable();
-  EXPECT_THROW(router.AddSlot(foreign), std::logic_error);
+  {
+    runtime::ReaderLock table(&router.TableMutex());
+    EXPECT_NO_THROW(router.RequireSlot(2));
+  }
+  // A *different* router's exclusive lock is not good enough.
+  ExpectForeignLockRejected(router);
 }
 
 // --------------------------------------------------------- merge helpers
@@ -467,7 +478,7 @@ TEST(RoutingModeTest, HashModeRejectsUnkeyedPushes) {
 // the aggregate callback tagged with that shard's id, and the aggregate
 // DriftLog() is exactly the fan-in history.
 TEST(ShardedCallbackTest, DriftAlarmsFanInWithShardIds) {
-  std::mutex mutex;
+  runtime::Mutex mutex;
   std::vector<ShardAlarm> seen;
   auto monitor = api::ShardedMonitorBuilder()
                      .Schema(ServingSchema())
@@ -478,7 +489,7 @@ TEST(ShardedCallbackTest, DriftAlarmsFanInWithShardIds) {
                      .Shards(3)
                      .OnDrift([&](int shard, const DriftAlarm& alarm,
                                   const MetricsSnapshot&) {
-                       std::lock_guard<std::mutex> lock(mutex);
+                       runtime::MutexLock lock(&mutex);
                        seen.push_back(ShardAlarm{shard, alarm});
                      })
                      .Build();

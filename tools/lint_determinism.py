@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Determinism & concurrency-hygiene lint for src/.
+
+The reproduction's headline guarantee is bit-identical results for a given
+(seed, config, stream) triple — across runs, thread counts, and shard
+layouts.  That guarantee dies the moment hidden nondeterminism leaks into a
+result path, so this lint bans the usual suspects at the source level:
+
+  * std::random_device, rand()/srand()    — unseeded entropy.
+  * time(NULL/nullptr/0)                  — wall-clock in logic.
+  * std::chrono::*_clock::now()           — ditto, the C++ spelling.
+  * std::hash                             — libstdc++/libc++ divergence and
+                                            (for strings) per-process salt;
+                                            routing uses the pinned
+                                            Router::HashKey (FNV-1a) instead.
+  * std::unordered_map / std::unordered_set
+                                          — iteration order is
+                                            implementation-defined; a
+                                            range-for over one in a result
+                                            path silently reorders output.
+  * raw std::mutex / std::shared_mutex / std::condition_variable
+                                          — every lock in src/ must be a
+                                            capability-annotated wrapper
+                                            from runtime/sync.h so clang's
+                                            -Wthread-safety sees it.
+
+Scope: src/ only.  tests/ and bench/ may measure wall-clock time and use
+ad-hoc containers; they never feed result paths.
+
+Allowlist: (file, token) pairs below grant narrow, justified exceptions.
+Each entry must say *why* the use cannot bias results.
+
+Exit status: 0 when clean, 1 with one "file:line: message" per finding.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# (rule name, compiled regex, message)
+RULES = [
+    (
+        "random_device",
+        re.compile(r"std::random_device"),
+        "std::random_device is unseeded entropy; take the seed from config",
+    ),
+    (
+        "c_rand",
+        re.compile(r"(?<![\w.>:])s?rand\s*\("),
+        "rand()/srand() is hidden global state; use a seeded std::mt19937",
+    ),
+    (
+        "c_time",
+        re.compile(r"(?<![\w.>:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+        "time() is wall-clock; results must not depend on when they ran",
+    ),
+    (
+        "chrono_clock",
+        re.compile(r"std::chrono::\w*clock\w*::now"),
+        "clock::now() in a result path breaks run-to-run reproducibility",
+    ),
+    (
+        "std_hash",
+        re.compile(r"std::hash\s*<"),
+        "std::hash is implementation-defined; use the pinned Router::HashKey",
+    ),
+    (
+        "unordered",
+        re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b"),
+        "unordered container iteration order is implementation-defined; "
+        "use std::map/std::vector",
+    ),
+    (
+        "raw_mutex",
+        re.compile(
+            r"std::(?:mutex|shared_mutex|timed_mutex|recursive_mutex|"
+            r"condition_variable\w*)\b"
+        ),
+        "raw std lock primitive; use the annotated wrappers in "
+        "runtime/sync.h so clang -Wthread-safety can check it",
+    ),
+]
+
+# (path relative to repo root, rule name) -> justification.
+ALLOWLIST = {
+    # The opt-in PrequentialConfig::timing stopwatch: measures elapsed time
+    # *about* a finished run, never feeds a decision inside one.
+    ("src/eval/engine.cc", "chrono_clock"):
+        "opt-in wall-clock stopwatch reported beside results, not in them",
+    # runtime/sync.h wraps the raw primitives; it is the one place they
+    # may be spelled.
+    ("src/runtime/sync.h", "raw_mutex"):
+        "the annotated wrapper layer itself",
+}
+
+LINE_COMMENT = re.compile(r"//.*$")
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_LIT = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noise(text: str) -> str:
+    """Blanks out comments and string literals, preserving line numbers."""
+
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = BLOCK_COMMENT.sub(blank, text)
+    out_lines = []
+    for line in text.split("\n"):
+        line = STRING_LIT.sub(lambda m: " " * len(m.group(0)), line)
+        line = LINE_COMMENT.sub(lambda m: " " * len(m.group(0)), line)
+        out_lines.append(line)
+    return "\n".join(out_lines)
+
+
+def lint_file(path: Path) -> list:
+    rel = path.relative_to(REPO).as_posix()
+    text = strip_noise(path.read_text(encoding="utf-8"))
+    findings = []
+    for name, pattern, message in RULES:
+        if (rel, name) in ALLOWLIST:
+            continue
+        for i, line in enumerate(text.split("\n"), start=1):
+            if pattern.search(line):
+                findings.append(f"{rel}:{i}: [{name}] {message}")
+    return findings
+
+
+def main() -> int:
+    if not SRC.is_dir():
+        print(f"lint_determinism: missing {SRC}", file=sys.stderr)
+        return 2
+    files = sorted(
+        p for p in SRC.rglob("*") if p.suffix in {".h", ".cc", ".cpp", ".hpp"}
+    )
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s) in "
+            f"{len(files)} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
