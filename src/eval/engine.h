@@ -265,11 +265,21 @@ class MonitorEngine {
   /// callback — the reentrancy guard of every mutating entry point.
   void RequireNotInHook(const char* operation) const;
 
+  // Construction-time wiring, not run state: Snapshot()/Restore() move an
+  // engine's *evaluation* state between engines that were each built with
+  // their own schema/config/components (EngineState carries the component
+  // clones separately; RestoreEngineState re-supplies schema and config).
+  // ccd:state-skip(schema_, construction-time wiring; a restored engine is built with its own schema)
   StreamSchema schema_;
+  // ccd:state-skip(classifier_, non-owning component pointer; EngineState ships CloneState copies instead)
   OnlineClassifier* classifier_ = nullptr;
+  // ccd:state-skip(detector_, non-owning component pointer; EngineState ships CloneState copies instead)
   DriftDetector* detector_ = nullptr;
+  // ccd:state-skip(config_, construction-time wiring; a restored engine is built with its own config)
   PrequentialConfig config_;
+  // ccd:state-skip(hooks_, callbacks bind to the owning process; they never transfer between engines)
   EngineHooks hooks_;
+  // ccd:state-skip(capacity_, derived from config_ at construction; not run state)
   size_t capacity_ = 1024;
 
   WindowedMetrics metrics_;
@@ -278,7 +288,9 @@ class MonitorEngine {
   uint64_t completed_ = 0;
   uint64_t evicted_ = 0;
   uint64_t unmatched_ = 0;
+  // ccd:state-skip(paused_, Restore deliberately lands unpaused; pausing is an operator action, not run state)
   bool paused_ = false;
+  // ccd:state-skip(in_hook_, transient reentrancy guard; Snapshot is only callable when no hook is running)
   bool in_hook_ = false;  ///< True while an EngineHooks callback runs.
   DetectorState last_state_ = DetectorState::kStable;
 

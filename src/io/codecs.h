@@ -1,6 +1,7 @@
 #ifndef CCD_IO_CODECS_H_
 #define CCD_IO_CODECS_H_
 
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
@@ -15,6 +16,16 @@
 
 namespace ccd {
 namespace io {
+
+/// Logical version of the per-component field schemas — the *meaning* of
+/// the bytes each SaveState() emits, as opposed to wire.h's
+/// kFormatVersion which versions the tag/envelope encoding itself. Bump
+/// this whenever any serialized class's field set or wire call sequence
+/// changes, then re-pin the manifest with
+/// `python3 tools/state_audit.py --update`; the static-analysis CI job
+/// fails any schema change that skips the bump (schema-drift gate
+/// against tools/wire_schema.json).
+inline constexpr uint32_t kStateSchemaVersion = 1;
 
 /// Small-type codecs shared by every component's SaveState()/LoadState().
 /// Each pair is an exact inverse: Read*(Write*(x)) reproduces x bit for

@@ -1,0 +1,53 @@
+#ifndef CCD_IO_SCHEMA_CHECK_H_
+#define CCD_IO_SCHEMA_CHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccd {
+namespace io {
+
+/// Conformance check of sealed state blobs against the audited wire
+/// grammars in tools/wire_schema.json (generated and kept fresh by
+/// tools/state_audit.py; the static-analysis CI job fails on drift).
+///
+/// The manifest records, per serialized class, a regex over a one-
+/// character-per-wire-tag alphabet (b=u8 u=u32 q=u64 i=i64 d=f64 o=bool
+/// s=string y=bytes a=f64-array, parentheses = nested section). The
+/// checker walks a blob's raw tag stream — independently of the typed
+/// decoders — renders every section's body into that alphabet and
+/// matches the sections whose names the manifest knows. A decoder bug,
+/// a hand-edited image, or a stale manifest all surface as a mismatch
+/// that plain CRC checks cannot see.
+
+struct SchemaCheckReport {
+  /// Sections that were found in the blob and matched their pattern.
+  int sections_matched = 0;
+  /// Mismatches and structural failures, empty when conformant.
+  std::vector<std::string> errors;
+  /// Conformant AND at least one audited section was present — a blob
+  /// with zero recognizable sections never vacuously passes.
+  bool ok() const { return errors.empty() && sections_matched > 0; }
+};
+
+/// Parses the wire_schema.json text into {section name -> tag pattern}.
+/// Only the fields the checker needs are read; unknown keys are skipped.
+/// Throws std::runtime_error on malformed JSON or a missing "classes"
+/// object, so a truncated or hand-mangled manifest fails loudly instead
+/// of silently checking nothing.
+std::map<std::string, std::string> ParseWireSchema(
+    const std::string& json_text);
+
+/// Checks one sealed state blob (magic + version + payload + CRC, as
+/// produced by SealEnvelope / EncodeStateImage) against the schema map.
+/// Every section in the blob whose name appears in `schema` must match
+/// its pattern; unknown sections are traversed but not judged.
+SchemaCheckReport CheckStateSchema(
+    const std::string& sealed_bytes,
+    const std::map<std::string, std::string>& schema);
+
+}  // namespace io
+}  // namespace ccd
+
+#endif  // CCD_IO_SCHEMA_CHECK_H_

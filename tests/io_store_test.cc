@@ -16,8 +16,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
 #include "api/api.h"
 #include "api/sharded_monitor.h"
+#include "io/schema_check.h"
 #include "io/snapshot_store.h"
 #include "io/state_codec.h"
 #include "io/wire.h"
@@ -224,6 +230,76 @@ TEST(PersistOpenTest, CorruptedArtifactsAreTypedErrors) {
   store.Remove(io::kManifestName);
   EXPECT_THROW(api::ShardedMonitor::Open(dir), io::WireError);
   RemoveTree(dir);
+}
+
+// ------------------------------------------------------ schema conformance
+
+// statedump --schema / CheckStateSchema: serialized images must conform
+// to the wire grammars the static auditor pinned in tools/wire_schema.json
+// (path injected by CMake as CCD_WIRE_SCHEMA_PATH).
+
+std::string ReadCommittedManifest() {
+  std::ifstream in(CCD_WIRE_SCHEMA_PATH);
+  EXPECT_TRUE(in.good()) << "missing " << CCD_WIRE_SCHEMA_PATH;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(WireSchemaCheckTest, SerializedShardMatchesAuditedGrammar) {
+  const std::map<std::string, std::string> schema =
+      io::ParseWireSchema(ReadCommittedManifest());
+  api::ShardedMonitor monitor = BuildMonitor(2);
+  for (const KeyedFeed& f : MakeSchedule(400, 31)) {
+    monitor.Feed(f.key, f.instance);
+  }
+  const io::SchemaCheckReport report =
+      io::CheckStateSchema(monitor.SerializeShard(0), schema);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty()
+                                   ? "no audited section found"
+                                   : report.errors.front());
+  // The image embeds at least the classifier (GaussianNB) and detector
+  // (DDM) sections — both must have been found and matched.
+  EXPECT_GE(report.sections_matched, 2);
+}
+
+// A manifest whose pattern no longer matches what the code writes — the
+// corrupted / stale-manifest case — must be reported per section, and a
+// blob containing *no* audited section must not pass vacuously.
+TEST(WireSchemaCheckTest, CorruptedManifestIsCaught) {
+  api::ShardedMonitor monitor = BuildMonitor(2);
+  for (const KeyedFeed& f : MakeSchedule(200, 37)) {
+    monitor.Feed(f.key, f.instance);
+  }
+  const std::string image = monitor.SerializeShard(0);
+
+  std::map<std::string, std::string> doctored =
+      io::ParseWireSchema(ReadCommittedManifest());
+  ASSERT_EQ(doctored.count("DDM"), 1u);
+  doctored["DDM"] = "^qqq$";  // DDM actually writes ^ddibiddd$.
+  const io::SchemaCheckReport report = io::CheckStateSchema(image, doctored);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors.front().find("DDM"), std::string::npos);
+
+  const io::SchemaCheckReport vacuous =
+      io::CheckStateSchema(image, {{"NoSuchSection", "^d$"}});
+  EXPECT_FALSE(vacuous.ok());
+
+  // Bytes that are not an envelope fail at the seal, not with a crash.
+  const io::SchemaCheckReport garbage = io::CheckStateSchema(
+      "garbage", io::ParseWireSchema(ReadCommittedManifest()));
+  EXPECT_FALSE(garbage.ok());
+}
+
+// A mangled manifest file fails loudly at parse time instead of silently
+// checking nothing.
+TEST(WireSchemaCheckTest, MalformedManifestThrows) {
+  EXPECT_THROW(io::ParseWireSchema("{\"classes\": {\"A\": "),
+               std::runtime_error);
+  EXPECT_THROW(io::ParseWireSchema("{\"wire_version\": 1}"),
+               std::runtime_error);
+  EXPECT_THROW(io::ParseWireSchema("not json at all"), std::runtime_error);
 }
 
 // ------------------------------------------------------ SIGKILL the child

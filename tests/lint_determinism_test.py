@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint_determinism.py (ctest: lint_determinism_selftest).
+
+Builds throwaway fixture trees and proves that:
+
+  * the io-layer memcpy / reinterpret_cast rules fire inside src/io/,
+  * they do NOT fire outside their src/io/ scope,
+  * the (file, rule) allowlist is honored (wire.cc may pun floats),
+  * the pre-existing rules (std::random_device, ...) still fire,
+  * a clean tree exits 0.
+"""
+
+import contextlib
+import io
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+import lint_determinism  # noqa: E402
+
+
+def run_lint(root):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+        code = lint_determinism.main(["--repo", str(root)])
+    return code, out.getvalue()
+
+
+def make_tree(tmp, files):
+    root = Path(tmp)
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return root
+
+
+FLOAT_PUN = """
+#include <cstring>
+static unsigned long long Pun(double v) {
+  unsigned long long bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+"""
+
+ALIAS_CAST = """
+static unsigned char First(const char* p) {
+  return *reinterpret_cast<const unsigned char*>(p);
+}
+"""
+
+
+class IoScopedRulesTest(unittest.TestCase):
+    def test_memcpy_in_io_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_tree(tmp, {"src/io/bad.cc": FLOAT_PUN})
+            code, out = run_lint(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("[io_memcpy]", out)
+            self.assertIn("src/io/bad.cc:5", out)
+
+    def test_reinterpret_cast_in_io_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_tree(tmp, {"src/io/bad.cc": ALIAS_CAST})
+            code, out = run_lint(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("[io_reinterpret_cast]", out)
+
+    def test_scope_excludes_non_io(self):
+        # The same punning outside src/io/ is not this rule's business.
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_tree(tmp, {"src/core/fast_path.cc": FLOAT_PUN})
+            code, out = run_lint(root)
+            self.assertEqual(code, 0, out)
+
+    def test_allowlist_honored_for_wire_cc(self):
+        # wire.cc is the audited codec: both rules are allowlisted there,
+        # but a neighboring io file gets no such grace.
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_tree(tmp, {
+                "src/io/wire.cc": FLOAT_PUN + ALIAS_CAST,
+                "src/io/sneaky.cc": FLOAT_PUN,
+            })
+            code, out = run_lint(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("src/io/sneaky.cc", out)
+            self.assertNotIn("src/io/wire.cc", out)
+
+    def test_comments_and_strings_do_not_fire(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_tree(tmp, {"src/io/doc.cc": """
+// memcpy(&a, &b, 4) would be wrong here; reinterpret_cast<int*> too.
+static const char* kMsg = "never std::memcpy in the io layer";
+"""})
+            code, out = run_lint(root)
+            self.assertEqual(code, 0, out)
+
+
+class ExistingRulesStillFireTest(unittest.TestCase):
+    def test_random_device_fires_anywhere_in_src(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_tree(tmp, {"src/core/seed.cc": """
+#include <random>
+static unsigned Seed() { return std::random_device{}(); }
+"""})
+            code, out = run_lint(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("[random_device]", out)
+
+    def test_clean_tree_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_tree(tmp, {"src/core/ok.cc": """
+static int Add(int a, int b) { return a + b; }
+"""})
+            code, out = run_lint(root)
+            self.assertEqual(code, 0, out)
+            self.assertIn("clean", out)
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repo_src_is_clean(self):
+        # The committed tree must hold the bar the fixtures prove exists.
+        repo = Path(__file__).resolve().parent.parent
+        code, out = run_lint(repo)
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -23,9 +23,20 @@ result path, so this lint bans the usual suspects at the source level:
                                             capability-annotated wrapper
                                             from runtime/sync.h so clang's
                                             -Wthread-safety sees it.
+  * memcpy / reinterpret_cast in src/io/  — float punning and aliasing
+                                            casts belong in exactly one
+                                            place, wire.cc's audited
+                                            codec; everywhere else in the
+                                            io layer must go through the
+                                            typed Writer/Reader surface
+                                            (POSIX call sites that need a
+                                            sockaddr cast are allowlisted
+                                            individually).
 
-Scope: src/ only.  tests/ and bench/ may measure wall-clock time and use
-ad-hoc containers; they never feed result paths.
+Scope: src/ only (a rule may narrow itself further via a path prefix,
+as the memcpy/reinterpret_cast rules do to src/io/).  tests/ and bench/
+may measure wall-clock time and use ad-hoc containers; they never feed
+result paths.
 
 Allowlist: (file, token) pairs below grant narrow, justified exceptions.
 Each entry must say *why* the use cannot bias results.
@@ -33,6 +44,7 @@ Each entry must say *why* the use cannot bias results.
 Exit status: 0 when clean, 1 with one "file:line: message" per finding.
 """
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -40,7 +52,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
-# (rule name, compiled regex, message)
+# (rule name, compiled regex, message[, path-prefix scope]) — rules with a
+# scope only apply to files whose repo-relative path starts with it.
 RULES = [
     (
         "random_device",
@@ -82,6 +95,21 @@ RULES = [
         "raw std lock primitive; use the annotated wrappers in "
         "runtime/sync.h so clang -Wthread-safety can check it",
     ),
+    (
+        "io_memcpy",
+        re.compile(r"(?<![\w.>:])(?:std::)?memcpy\s*\("),
+        "raw memcpy in the io layer; float punning lives only in wire.cc's "
+        "DoubleBits/DoubleFromBits — use the typed Writer/Reader calls",
+        "src/io/",
+    ),
+    (
+        "io_reinterpret_cast",
+        re.compile(r"\breinterpret_cast\s*<"),
+        "reinterpret_cast in the io layer; aliasing casts outside the "
+        "audited codec (wire.cc) and POSIX call sites undermine the "
+        "wire-format guarantees — use the typed Writer/Reader calls",
+        "src/io/",
+    ),
 ]
 
 # (path relative to repo root, rule name) -> justification.
@@ -94,6 +122,22 @@ ALLOWLIST = {
     # may be spelled.
     ("src/runtime/sync.h", "raw_mutex"):
         "the annotated wrapper layer itself",
+    # wire.cc *is* the audited codec: DoubleBits/DoubleFromBits do the one
+    # sanctioned float<->u64 pun (memcpy, the defined-behavior spelling)
+    # and LoadRawU32 reads bytes as unsigned char, which may alias anything.
+    ("src/io/wire.cc", "io_memcpy"):
+        "the codec's own defined-behavior float<->u64 punning",
+    ("src/io/wire.cc", "io_reinterpret_cast"):
+        "byte access via unsigned char*, the aliasing-safe read",
+    # POSIX surfaces: read(2) wants char*, bind(2)/connect(2) want the
+    # classic sockaddr* cast, sun_path is a char array to fill. None of
+    # these bytes ever reach a result path.
+    ("src/io/frame.cc", "io_reinterpret_cast"):
+        "read(2) buffer pointer for the 4-byte length prefix",
+    ("src/io/frame_server.cc", "io_memcpy"):
+        "filling sockaddr_un::sun_path, a POSIX char array",
+    ("src/io/frame_server.cc", "io_reinterpret_cast"):
+        "the sockaddr* casts bind(2)/connect(2) require",
 }
 
 LINE_COMMENT = re.compile(r"//.*$")
@@ -116,11 +160,15 @@ def strip_noise(text: str) -> str:
     return "\n".join(out_lines)
 
 
-def lint_file(path: Path) -> list:
-    rel = path.relative_to(REPO).as_posix()
+def lint_file(path: Path, repo: Path) -> list:
+    rel = path.relative_to(repo).as_posix()
     text = strip_noise(path.read_text(encoding="utf-8"))
     findings = []
-    for name, pattern, message in RULES:
+    for rule in RULES:
+        name, pattern, message = rule[0], rule[1], rule[2]
+        scope = rule[3] if len(rule) > 3 else None
+        if scope is not None and not rel.startswith(scope):
+            continue
         if (rel, name) in ALLOWLIST:
             continue
         for i, line in enumerate(text.split("\n"), start=1):
@@ -129,16 +177,27 @@ def lint_file(path: Path) -> list:
     return findings
 
 
-def main() -> int:
-    if not SRC.is_dir():
-        print(f"lint_determinism: missing {SRC}", file=sys.stderr)
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo",
+        type=Path,
+        default=REPO,
+        help="repo root to lint (scans <repo>/src; default: this repo). "
+        "The self-test points this at fixture trees.",
+    )
+    args = parser.parse_args(argv)
+    repo = args.repo.resolve()
+    src = repo / "src"
+    if not src.is_dir():
+        print(f"lint_determinism: missing {src}", file=sys.stderr)
         return 2
     files = sorted(
-        p for p in SRC.rglob("*") if p.suffix in {".h", ".cc", ".cpp", ".hpp"}
+        p for p in src.rglob("*") if p.suffix in {".h", ".cc", ".cpp", ".hpp"}
     )
     findings = []
     for path in files:
-        findings.extend(lint_file(path))
+        findings.extend(lint_file(path, repo))
     for finding in findings:
         print(finding)
     if findings:

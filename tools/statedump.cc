@@ -5,19 +5,27 @@
 //   statedump <directory> --verify   # also fully decode every image
 //   statedump --image <file>         # one sealed .state image
 //
+// Either mode accepts --schema <tools/wire_schema.json>: every decoded
+// image's raw tag stream is additionally cross-checked against the
+// per-component wire grammars the static auditor pinned in the manifest
+// (see src/io/schema_check.h) — catching decoder drift that CRCs are
+// blind to, because a re-encoded-but-wrong blob still checksums fine.
+//
 // Prints the wire-format version, the fleet identity (classifier /
 // detector registry names and params), per-shard counters and CRCs.
 // Exit status: 0 when everything checks out, 2 on any corruption — a
-// truncated file, a CRC mismatch, a foreign version — so the tool can
-// gate a restore in scripts. All integrity failures are io::WireError;
-// nothing here is allowed to crash on hostile bytes.
+// truncated file, a CRC mismatch, a foreign version, a schema mismatch —
+// so the tool can gate a restore in scripts. All integrity failures are
+// io::WireError; nothing here is allowed to crash on hostile bytes.
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "io/schema_check.h"
 #include "io/snapshot_store.h"
 #include "io/state_codec.h"
 #include "io/wire.h"
@@ -62,8 +70,26 @@ void PrintImage(const std::string& label, const ccd::io::StateImage& image) {
       s.drift_log.size());
 }
 
+/// The --schema cross-check on one sealed blob. Returns the number of
+/// mismatches (0 when conformant); prints each error.
+int CheckAgainstSchema(const std::string& label, const std::string& bytes,
+                       const std::map<std::string, std::string>& schema) {
+  ccd::io::SchemaCheckReport report = ccd::io::CheckStateSchema(bytes, schema);
+  if (report.ok()) {
+    std::printf("  schema-ok   %d section(s) match the audited grammar\n",
+                report.sections_matched);
+    return 0;
+  }
+  for (const std::string& err : report.errors) {
+    std::fprintf(stderr, "%s: schema mismatch: %s\n", label.c_str(),
+                 err.c_str());
+  }
+  return static_cast<int>(report.errors.size());
+}
+
 /// Dump one sealed image file; returns the process exit code.
-int DumpImage(const std::string& path, bool decoded_ok_only) {
+int DumpImage(const std::string& path, bool decoded_ok_only,
+              const std::map<std::string, std::string>* schema) {
   const std::string bytes = ReadFileOrDie(path);
   ccd::io::StateImage image = ccd::io::DecodeStateImage(bytes);
   if (!decoded_ok_only) {
@@ -72,10 +98,14 @@ int DumpImage(const std::string& path, bool decoded_ok_only) {
                 ccd::io::Crc32(bytes.data(), bytes.size()));
     PrintImage("", image);
   }
+  if (schema != nullptr && CheckAgainstSchema(path, bytes, *schema) != 0) {
+    return 2;
+  }
   return 0;
 }
 
-int DumpDirectory(const std::string& dir, bool verify) {
+int DumpDirectory(const std::string& dir, bool verify,
+                  const std::map<std::string, std::string>* schema) {
   ccd::io::SnapshotStore store(dir);
   const std::string manifest_bytes = store.Read(ccd::io::kManifestName);
   const ccd::io::Manifest m = ccd::io::DecodeManifest(manifest_bytes);
@@ -123,6 +153,10 @@ int DumpDirectory(const std::string& dir, bool verify) {
                     image.state.snapshot.drift_log.size());
       }
       std::printf("  ok\n");
+      if (schema != nullptr &&
+          CheckAgainstSchema(f.file, bytes, *schema) != 0) {
+        ++failures;
+      }
     } catch (const ccd::io::WireError& e) {
       std::printf("  CORRUPT: %s\n", e.what());
       ++failures;
@@ -142,14 +176,25 @@ int main(int argc, char** argv) try {
   ccd::Cli cli(argc, argv);
   const bool verify = cli.Has("verify");
   const std::string image = cli.GetString("image", "");
-  if (!image.empty()) return DumpImage(image, /*decoded_ok_only=*/false);
+  const std::string schema_path = cli.GetString("schema", "");
+  std::map<std::string, std::string> schema;
+  if (!schema_path.empty()) {
+    schema = ccd::io::ParseWireSchema(ReadFileOrDie(schema_path));
+  }
+  const std::map<std::string, std::string>* schema_ptr =
+      schema_path.empty() ? nullptr : &schema;
+  if (!image.empty()) {
+    return DumpImage(image, /*decoded_ok_only=*/false, schema_ptr);
+  }
   if (cli.positional().size() != 1) {
     std::fprintf(stderr,
-                 "usage: statedump <directory> [--verify]\n"
-                 "       statedump --image <file>\n");
+                 "usage: statedump <directory> [--verify]"
+                 " [--schema tools/wire_schema.json]\n"
+                 "       statedump --image <file>"
+                 " [--schema tools/wire_schema.json]\n");
     return 1;
   }
-  return DumpDirectory(cli.positional()[0], verify);
+  return DumpDirectory(cli.positional()[0], verify, schema_ptr);
 } catch (const ccd::io::WireError& e) {
   std::fprintf(stderr, "corrupt: %s\n", e.what());
   return 2;
