@@ -1,0 +1,48 @@
+#ifndef CCD_RUNTIME_SIM_HOOKS_H_
+#define CCD_RUNTIME_SIM_HOOKS_H_
+
+/// The seam between runtime/sync.h and the deterministic simulation
+/// scheduler (runtime/sim.h). Every lock/condvar operation on the
+/// annotated wrappers first asks SimActive(): on a thread that belongs to
+/// a running sim::Scheduler the operation is routed to the scheduler's
+/// cooperative state machines (identified by the primitive's address);
+/// on every other thread it falls through to the raw std primitive.
+///
+/// This header is deliberately tiny — declarations only — so sync.h can
+/// include it without pulling the scheduler machinery into every
+/// translation unit that takes a lock.
+///
+/// The capability annotations live on the sync.h wrappers, not here: the
+/// shim changes *when* a lock operation completes, never what capability
+/// it confers, so -Wthread-safety sees the exact same API either way.
+
+namespace ccd {
+namespace runtime {
+namespace sim {
+
+/// True iff the calling thread is a task of a running Scheduler.
+/// Out-of-line on purpose: sync.h must not need the scheduler's state.
+bool SimActive() noexcept;
+
+// Mutex operations, keyed by the wrapper's address.
+void SimMutexLock(void* mu);
+bool SimMutexTryLock(void* mu);
+void SimMutexUnlock(void* mu);
+
+// SharedMutex operations (exclusive and shared sides).
+void SimSharedLock(void* mu);
+void SimSharedUnlock(void* mu);
+void SimSharedLockShared(void* mu);
+void SimSharedUnlockShared(void* mu);
+
+// CondVar operations. Wait atomically releases the sim-held mutex,
+// parks the task, and reacquires after a notify reaches it.
+void SimCondVarWait(void* cv, void* mu);
+void SimCondVarNotifyOne(void* cv);
+void SimCondVarNotifyAll(void* cv);
+
+}  // namespace sim
+}  // namespace runtime
+}  // namespace ccd
+
+#endif  // CCD_RUNTIME_SIM_HOOKS_H_

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "runtime/sim_hooks.h"
+
 /// Capability-annotated synchronization primitives — the only lock types
 /// src/ is allowed to use (tools/lint_determinism.py enforces the ban on
 /// raw std::mutex outside this header).
@@ -30,6 +32,15 @@
 ///  * Locks handed through type-erased boundaries (std::function callbacks)
 ///    are likewise invisible — MonitorEngine's hook-reentrancy invariant
 ///    stays a runtime check (see eval/engine.cc HookScope).
+///
+/// Simulation seam: every operation first asks sim::SimActive() — on a
+/// thread owned by a running sim::Scheduler (runtime/sim.h) the operation
+/// routes to the deterministic cooperative scheduler instead of the std
+/// primitive, which is how the fault-injection harness explores lock
+/// interleavings seed-by-seed without touching any call site. On every
+/// other thread this is one thread-local read and a fall-through. The
+/// capability annotations are identical on both paths, so the analysis
+/// and the negative-compile proofs are unaffected.
 
 // Base wrapper: expands to the TSA attribute under clang, vanishes
 // elsewhere. The argument is an attribute spelling, not an expression, so
@@ -72,15 +83,30 @@ class CCD_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() CCD_ACQUIRE() { mu_.lock(); }
-  void Unlock() CCD_RELEASE() { mu_.unlock(); }
-  bool TryLock() CCD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() CCD_ACQUIRE() {
+    if (sim::SimActive()) {
+      sim::SimMutexLock(this);
+      return;
+    }
+    mu_.lock();
+  }
+  void Unlock() CCD_RELEASE() {
+    if (sim::SimActive()) {
+      sim::SimMutexUnlock(this);
+      return;
+    }
+    mu_.unlock();
+  }
+  bool TryLock() CCD_TRY_ACQUIRE(true) {
+    if (sim::SimActive()) return sim::SimMutexTryLock(this);
+    return mu_.try_lock();
+  }
 
   // BasicLockable spelling so std::condition_variable_any can release and
   // reacquire this mutex inside CondVar::Wait(). Annotated exactly like
   // Lock()/Unlock(): user code calling these is analyzed the same way.
-  void lock() CCD_ACQUIRE() { mu_.lock(); }
-  void unlock() CCD_RELEASE() { mu_.unlock(); }
+  void lock() CCD_ACQUIRE() { Lock(); }
+  void unlock() CCD_RELEASE() { Unlock(); }
 
  private:
   std::mutex mu_;
@@ -93,10 +119,34 @@ class CCD_CAPABILITY("shared_mutex") SharedMutex {
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() CCD_ACQUIRE() { mu_.lock(); }
-  void Unlock() CCD_RELEASE() { mu_.unlock(); }
-  void LockShared() CCD_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() CCD_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() CCD_ACQUIRE() {
+    if (sim::SimActive()) {
+      sim::SimSharedLock(this);
+      return;
+    }
+    mu_.lock();
+  }
+  void Unlock() CCD_RELEASE() {
+    if (sim::SimActive()) {
+      sim::SimSharedUnlock(this);
+      return;
+    }
+    mu_.unlock();
+  }
+  void LockShared() CCD_ACQUIRE_SHARED() {
+    if (sim::SimActive()) {
+      sim::SimSharedLockShared(this);
+      return;
+    }
+    mu_.lock_shared();
+  }
+  void UnlockShared() CCD_RELEASE_SHARED() {
+    if (sim::SimActive()) {
+      sim::SimSharedUnlockShared(this);
+      return;
+    }
+    mu_.unlock_shared();
+  }
 
  private:
   std::shared_mutex mu_;
@@ -161,9 +211,27 @@ class CondVar {
 
   /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
   /// Spurious wakeups happen: always re-check the predicate.
-  void Wait(Mutex& mu) CCD_REQUIRES(mu) { cv_.wait(mu); }
-  void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  void Wait(Mutex& mu) CCD_REQUIRES(mu) {
+    if (sim::SimActive()) {
+      sim::SimCondVarWait(this, &mu);
+      return;
+    }
+    cv_.wait(mu);
+  }
+  void NotifyOne() {
+    if (sim::SimActive()) {
+      sim::SimCondVarNotifyOne(this);
+      return;
+    }
+    cv_.notify_one();
+  }
+  void NotifyAll() {
+    if (sim::SimActive()) {
+      sim::SimCondVarNotifyAll(this);
+      return;
+    }
+    cv_.notify_all();
+  }
 
  private:
   std::condition_variable_any cv_;

@@ -3,14 +3,19 @@
 #include <exception>
 #include <utility>
 
+#include "runtime/sim.h"
+
 namespace ccd {
 namespace runtime {
 
 ThreadPool::ThreadPool(int threads) {
   if (threads < 1) threads = 1;
   workers_.reserve(static_cast<std::size_t>(threads));
+  // sim::StartThread is std::thread's constructor outside a simulation;
+  // inside one, workers are adopted as schedulable tasks so pool-based
+  // code runs unmodified under the deterministic scheduler.
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.push_back(sim::StartThread([this] { WorkerLoop(); }));
   }
 }
 
@@ -20,7 +25,7 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   work_available_.NotifyAll();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers_) sim::JoinThread(w);
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -91,7 +96,7 @@ void RunThreads(int threads, const std::function<void(int)>& fn) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
+    workers.push_back(sim::StartThread([&, t] {
       {
         MutexLock lock(&mutex);
         ++ready;
@@ -103,7 +108,7 @@ void RunThreads(int threads, const std::function<void(int)>& fn) {
       } catch (...) {
         errors[static_cast<std::size_t>(t)] = std::current_exception();
       }
-    });
+    }));
   }
   {
     MutexLock lock(&mutex);
@@ -111,7 +116,7 @@ void RunThreads(int threads, const std::function<void(int)>& fn) {
     go = true;
     barrier.NotifyAll();
   }
-  for (std::thread& worker : workers) worker.join();
+  for (std::thread& worker : workers) sim::JoinThread(worker);
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }

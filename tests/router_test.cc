@@ -31,6 +31,7 @@
 #include "eval/engine.h"
 #include "runtime/router.h"
 #include "runtime/sync.h"
+#include "sim_harness.h"
 #include "testing_util.h"
 
 namespace ccd {
@@ -213,45 +214,33 @@ TEST(MergeSnapshotsTest, SingleShardMergeMatchesEngineResult) {
 // substreams — the router adds routing, not arithmetic. The baseline uses
 // the documented contracts: shard i's components are seeded Seed() + i,
 // and keys partition by Router::KeySlot(key, K).
+// The oracle itself lives in tests/sim_harness.h now: HistoryChecker
+// replays the recorded linearization against per-shard api::Monitors
+// seeded Seed() + i and compares every outcome plus the final per-shard
+// snapshots and the merged aggregate — the same checker the simulation
+// sweeps (sim_test, sim_crash_test) run over seeded interleavings with
+// reshard/drain/SHIP/crash faults. Here it gets the degenerate history:
+// single-threaded, fault-free, Feed-only.
 TEST(ShardedDifferentialTest, HashRoutedEqualsIndependentEnginesPerShard) {
-  constexpr int kShards = 4;
-  constexpr uint64_t kSeed = 100;
-  const PrequentialConfig cfg = ShortConfig();
-
-  auto monitor = ServingBuilder(kShards, kSeed).Build();
+  test_util::SimServingConfig config;
+  config.shards = 4;
+  config.seed = 100;
+  auto monitor = test_util::MakeServing(config);
   EXPECT_EQ(monitor.mode(), RoutingMode::kHashKey);
-  EXPECT_EQ(monitor.shards(), kShards);
+  EXPECT_EQ(monitor.shards(), config.shards);
 
-  std::vector<api::Monitor> baseline;
-  for (int i = 0; i < kShards; ++i) {
-    baseline.push_back(api::MonitorBuilder()
-                           .Schema(ServingSchema())
-                           .Classifier("naive-bayes")
-                           .Detector("DDM")
-                           .Seed(kSeed + static_cast<uint64_t>(i))
-                           .Protocol(cfg)
-                           .Build());
-  }
-
+  test_util::SimHistory history;
+  test_util::RecordingMonitor recording(&monitor, &history);
   auto stream = MakeRbfDriftStream(1500, 11);
   const std::vector<Instance> data = Take(stream.get(), 3000);
   for (size_t i = 0; i < data.size(); ++i) {
-    const uint64_t key = i;
-    monitor.Feed(key, data[i]);
-    baseline[static_cast<size_t>(Router::KeySlot(key, kShards))].Feed(data[i]);
+    recording.Feed(/*key=*/i, data[i]);
   }
 
   EXPECT_EQ(monitor.position(), 3000u);
-  for (int s = 0; s < kShards; ++s) {
-    SCOPED_TRACE("shard " + std::to_string(s));
-    ExpectSnapshotEq(baseline[static_cast<size_t>(s)].Snapshot(),
-                     monitor.ShardSnapshot(s));
-  }
-  // The aggregate result is the merge of exactly those engines.
-  test_util::ExpectBitIdentical(
-      MergedResult({baseline[0].Snapshot(), baseline[1].Snapshot(),
-                    baseline[2].Snapshot(), baseline[3].Snapshot()}),
-      monitor.Result());
+  test_util::HistoryChecker checker(config);
+  const test_util::SimCheckResult verdict = checker.Check(history, monitor);
+  EXPECT_TRUE(verdict.ok) << verdict.error;
 }
 
 // ------------------------------------------------ (b) multi-thread stress

@@ -286,6 +286,37 @@ inline std::vector<KeyedInstance> MakeKeyedSchedule(
   return schedule;
 }
 
+/// A keyed push plus the virtual-clock delay that precedes it — the unit
+/// of a simulated stream with label latency (runtime/sim.h SleepFor
+/// ticks; meaningless outside a simulation, where delay 0 fixtures still
+/// work unchanged).
+struct DelayedPush {
+  KeyedInstance push;
+  uint64_t label_delay = 0;
+};
+
+/// MakeKeyedSchedule with deterministic per-push delays in
+/// [0, max_delay], drawn via the pinned Router::HashKey mix so the
+/// schedule is identical across runs and platforms for a given seed.
+inline std::vector<DelayedPush> MakeDelaySchedule(
+    const std::vector<uint64_t>& keys, size_t count, uint64_t seed,
+    uint64_t max_delay) {
+  const std::vector<KeyedInstance> base = MakeKeyedSchedule(keys, count, seed);
+  std::vector<DelayedPush> schedule;
+  schedule.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    DelayedPush push;
+    push.push = base[i];
+    push.label_delay =
+        max_delay == 0
+            ? 0
+            : runtime::Router::HashKey(seed * 0x9e3779b9u + i) %
+                  (max_delay + 1);
+    schedule.push_back(std::move(push));
+  }
+  return schedule;
+}
+
 }  // namespace test_util
 }  // namespace ccd
 

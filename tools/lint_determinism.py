@@ -122,6 +122,17 @@ ALLOWLIST = {
     # may be spelled.
     ("src/runtime/sync.h", "raw_mutex"):
         "the annotated wrapper layer itself",
+    # The deterministic simulation scheduler sits *beneath* the wrappers:
+    # sync.h routes every operation to sim.cc when a Scheduler is active,
+    # so the scheduler's own context-switch machinery (one global mutex,
+    # per-task park/unpark condvars) must be the raw primitives — going
+    # through the wrappers it intercepts would recurse. No scheduling
+    # decision reads a clock, an address, or other ambient entropy; the
+    # seed stream is the only decision input (tests/sim_test.cc pins the
+    # schedule digest to prove it).
+    ("src/runtime/sim.cc", "raw_mutex"):
+        "the scheduler beneath the wrapper layer; routing through the "
+        "wrappers it intercepts would recurse",
     # wire.cc *is* the audited codec: DoubleBits/DoubleFromBits do the one
     # sanctioned float<->u64 pun (memcpy, the defined-behavior spelling)
     # and LoadRawU32 reads bytes as unsigned char, which may alias anything.
