@@ -9,9 +9,14 @@
 // Usage:
 //   bench_serving [--threads 8] [--instances 200000] [--seed 42]
 //                 [--mode hash|rr] [--classifier cs-ptree]
-//                 [--detector DDM | --detector none]
+//                 [--detector DDM | --detector none] [--batch 256]
 //                 [--router-shards 8 | --sweep 1,2,4,8] [--csv out.csv]
 //                 [--json out.json]
+//
+// In hash mode every row also runs a batch leg: the same instances again
+// through FeedBatch in --batch-sized chunks (one shard-lock round-trip
+// per chunk×shard instead of per push); BatchX is its speedup over the
+// per-push rate of the same row.
 //
 // With --router-shards K a single configuration runs; the default sweeps
 // K over {1, 2, 4, 8} at the given thread count so the scaling curve
@@ -46,6 +51,7 @@ using Clock = std::chrono::steady_clock;
 struct RunResult {
   double seconds = 0.0;
   uint64_t drifts = 0;
+  double batch_seconds = 0.0;    ///< Same pushes via FeedBatch (hash mode).
   double persist_seconds = 0.0;  ///< Persist() of the loaded fleet.
   double open_seconds = 0.0;     ///< ShardedMonitor::Open() of the same.
   uint64_t state_bytes = 0;      ///< Manifest-accounted on-disk size.
@@ -57,15 +63,18 @@ RunResult RunOnce(const ccd::StreamSchema& schema,
                   const std::vector<ccd::Instance>& data, int threads,
                   int shards, ccd::runtime::RoutingMode mode,
                   const std::string& classifier, const std::string& detector,
-                  uint64_t seed) {
-  ccd::api::ShardedMonitorBuilder builder;
-  builder.Schema(schema)
-      .Classifier(classifier)
-      .Seed(seed)
-      .Shards(shards)
-      .Mode(mode);
-  if (!detector.empty()) builder.Detector(detector);
-  auto monitor = builder.Build();
+                  uint64_t seed, int batch) {
+  auto make_monitor = [&] {
+    ccd::api::ShardedMonitorBuilder builder;
+    builder.Schema(schema)
+        .Classifier(classifier)
+        .Seed(seed)
+        .Shards(shards)
+        .Mode(mode);
+    if (!detector.empty()) builder.Detector(detector);
+    return builder.Build();
+  };
+  auto monitor = make_monitor();
 
   // Barrier-started producers (runtime::RunThreads): the measured window
   // contains contention, not thread spawn skew, and a producer throw
@@ -90,6 +99,42 @@ RunResult RunOnce(const ccd::StreamSchema& schema,
     throw std::logic_error("bench_serving: lost pushes — " +
                            std::to_string(monitor.position()) + " of " +
                            std::to_string(data.size()) + " accounted");
+  }
+
+  // Batch leg (hash mode): the same instances through FeedBatch — one
+  // shard-lock round-trip per (chunk × shard) instead of per push. Chunks
+  // are materialized before the clock starts, so the measured delta is
+  // purely call granularity. Round-robin routing has no keyed batch form.
+  if (mode == ccd::runtime::RoutingMode::kHashKey && batch > 0) {
+    std::vector<std::vector<std::vector<ccd::api::ShardedMonitor::KeyedInstance>>>
+        chunks(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      auto& mine = chunks[static_cast<size_t>(t)];
+      mine.emplace_back();
+      for (size_t i = static_cast<size_t>(t); i < data.size();
+           i += static_cast<size_t>(threads)) {
+        if (mine.back().size() >= static_cast<size_t>(batch)) {
+          mine.emplace_back();
+        }
+        mine.back().push_back(
+            ccd::api::ShardedMonitor::KeyedInstance{static_cast<uint64_t>(i),
+                                                    data[i]});
+      }
+    }
+    auto batched = make_monitor();
+    const auto b0 = Clock::now();
+    ccd::runtime::RunThreads(threads, [&](int t) {
+      for (const auto& chunk : chunks[static_cast<size_t>(t)]) {
+        batched.FeedBatch(chunk);
+      }
+    });
+    result.batch_seconds =
+        std::chrono::duration<double>(Clock::now() - b0).count();
+    if (batched.position() != data.size()) {
+      throw std::logic_error("bench_serving: batch leg lost pushes — " +
+                             std::to_string(batched.position()) + " of " +
+                             std::to_string(data.size()) + " accounted");
+    }
   }
 
   // Restore-latency leg: persist the fully loaded fleet, then reopen it —
@@ -123,30 +168,37 @@ RunResult RunOnce(const ccd::StreamSchema& schema,
 /// words; this bench's JSON needs no general escaper.
 void WriteJson(const std::string& path, const std::string& mode,
                const std::string& classifier, const std::string& detector,
-               uint64_t instances, int threads,
+               uint64_t instances, int threads, int batch,
                const std::vector<std::pair<int, RunResult>>& rows) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     throw std::runtime_error("bench_serving: cannot write " + path);
   }
   std::fprintf(out,
-               "{\n  \"bench\": \"serving\",\n  \"instances\": %llu,\n"
-               "  \"threads\": %d,\n  \"mode\": \"%s\",\n"
+               "{\n  \"bench\": \"serving\",\n  \"schema_version\": 1,\n"
+               "  \"instances\": %llu,\n"
+               "  \"threads\": %d,\n  \"batch\": %d,\n  \"mode\": \"%s\",\n"
                "  \"classifier\": \"%s\",\n  \"detector\": \"%s\",\n"
                "  \"rows\": [\n",
-               static_cast<unsigned long long>(instances), threads,
+               static_cast<unsigned long long>(instances), threads, batch,
                mode.c_str(), classifier.c_str(),
                detector.empty() ? "none" : detector.c_str());
   for (size_t i = 0; i < rows.size(); ++i) {
     const RunResult& r = rows[i].second;
     const double rate =
         static_cast<double>(instances) / (r.seconds > 0 ? r.seconds : 1);
+    const double batch_rate =
+        r.batch_seconds > 0 ? static_cast<double>(instances) / r.batch_seconds
+                            : 0.0;
     std::fprintf(out,
                  "    {\"shards\": %d, \"seconds\": %.6f, "
-                 "\"pushes_per_sec\": %.1f, \"drifts\": %llu, "
+                 "\"pushes_per_sec\": %.1f, \"batch_seconds\": %.6f, "
+                 "\"batch_pushes_per_sec\": %.1f, \"batch_speedup\": %.3f, "
+                 "\"drifts\": %llu, "
                  "\"persist_seconds\": %.6f, \"open_seconds\": %.6f, "
                  "\"state_bytes\": %llu}%s\n",
-                 rows[i].first, r.seconds, rate,
+                 rows[i].first, r.seconds, rate, r.batch_seconds, batch_rate,
+                 rate > 0 ? batch_rate / rate : 0.0,
                  static_cast<unsigned long long>(r.drifts), r.persist_seconds,
                  r.open_seconds,
                  static_cast<unsigned long long>(r.state_bytes),
@@ -165,6 +217,7 @@ int main(int argc, char** argv) try {
       static_cast<uint64_t>(cli.GetInt("instances", 200000));
   const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
   const std::string mode_name = cli.GetString("mode", "hash");
+  const int batch = cli.GetInt("batch", 256);
   // The paper's base classifier by default: its per-push cost is realistic
   // for a served model, which is exactly when shard-lock contention at
   // K=1 hurts and the scaling curve is informative.
@@ -213,19 +266,29 @@ int main(int argc, char** argv) try {
 
   ccd::Table table;
   table.SetHeader({"Shards", "Threads", "Seconds", "Kpush/s", "Speedup",
-                   "Drifts", "Persist ms", "Open ms", "State KB"});
+                   "BatchK/s", "BatchX", "Drifts", "Persist ms", "Open ms",
+                   "State KB"});
   double baseline_rate = 0.0;
   std::vector<std::pair<int, RunResult>> rows;
   for (int shards : shard_counts) {
     const RunResult run = RunOnce(stream->schema(), data, threads, shards,
-                                  mode, classifier, detector, seed);
+                                  mode, classifier, detector, seed, batch);
     const double rate =
         static_cast<double>(data.size()) / (run.seconds > 0 ? run.seconds : 1);
     if (baseline_rate == 0.0) baseline_rate = rate;
+    const double batch_rate =
+        run.batch_seconds > 0
+            ? static_cast<double>(data.size()) / run.batch_seconds
+            : 0.0;
     table.AddRow({std::to_string(shards), std::to_string(threads),
                   ccd::Table::Num(run.seconds, 3),
                   ccd::Table::Num(rate / 1000.0, 1),
                   ccd::Table::Num(rate / baseline_rate, 2) + "x",
+                  batch_rate > 0 ? ccd::Table::Num(batch_rate / 1000.0, 1)
+                                 : "-",
+                  batch_rate > 0
+                      ? ccd::Table::Num(batch_rate / rate, 2) + "x"
+                      : "-",
                   std::to_string(run.drifts),
                   ccd::Table::Num(run.persist_seconds * 1000.0, 2),
                   ccd::Table::Num(run.open_seconds * 1000.0, 2),
@@ -241,7 +304,7 @@ int main(int argc, char** argv) try {
   const std::string json = cli.GetString("json", "");
   if (!json.empty()) {
     WriteJson(json, mode_name, classifier, detector, data.size(), threads,
-              rows);
+              batch, rows);
     std::printf("wrote %s\n", json.c_str());
   }
   return 0;

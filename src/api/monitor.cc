@@ -35,6 +35,28 @@ bool Monitor::Label(uint64_t id, int true_label) {
 
 void Monitor::Feed(const Instance& instance) { engine_->Feed(instance); }
 
+void Monitor::FeedBatch(const std::vector<Instance>& batch) {
+  engine_->FeedBatch(batch);
+}
+
+void Monitor::PredictBatch(const std::vector<Instance>& batch,
+                           std::vector<Prediction>* out) {
+  out->resize(batch.size());
+  MonitorEngine::Ticket t;  // Reused: scores capacity survives iterations.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    engine_->Predict(batch[i].features, batch[i].weight, &t);
+    Prediction& p = (*out)[i];
+    p.id = t.id;
+    p.label = t.predicted;
+    p.scores = t.scores;
+  }
+}
+
+void Monitor::LabelBatch(const std::vector<LabelRequest>& batch,
+                         std::vector<LabelOutcome>* outcomes) {
+  engine_->LabelBatch(batch, outcomes);
+}
+
 void Monitor::Pause() { engine_->Pause(); }
 void Monitor::Resume() { engine_->Resume(); }
 bool Monitor::paused() const { return engine_->paused(); }

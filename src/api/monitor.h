@@ -72,6 +72,17 @@ class Monitor {
   /// Predict() + Label() back to back, minus the buffer round-trip.
   void Feed(const Instance& instance);
 
+  /// Batch forms: each is bit-identical to calling its per-instance
+  /// sibling in element order, but amortizes the call overhead (and, on
+  /// ShardedMonitor, the per-push lock round-trip). `out` vectors are
+  /// resized to the batch size, reusing their capacity across calls.
+  void FeedBatch(const std::vector<Instance>& batch);
+  void PredictBatch(const std::vector<Instance>& batch,
+                    std::vector<Prediction>* out);
+  /// One LabelOutcome per request, in request order (kApplied / kUnknown).
+  void LabelBatch(const std::vector<LabelRequest>& batch,
+                  std::vector<LabelOutcome>* outcomes = nullptr);
+
   /// Pause/Resume the intake (Feed/Predict); Label() keeps draining
   /// in-flight predictions. Snapshot() of a paused, drained monitor is the
   /// handoff payload for intra-stream sharding.

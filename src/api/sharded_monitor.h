@@ -11,6 +11,7 @@
 #include "api/component_registry.h"
 #include "api/param_map.h"
 #include "eval/engine.h"
+#include "runtime/mpsc_queue.h"
 #include "runtime/router.h"
 
 namespace ccd {
@@ -111,6 +112,20 @@ class ShardedMonitor {
     std::vector<double> scores;
   };
 
+  /// One element of a keyed batch push (FeedBatch / PredictBatch).
+  struct KeyedInstance {
+    uint64_t key = 0;
+    Instance instance;
+  };
+
+  /// One element of a batch label (LabelBatch): addressed like Label(),
+  /// by the ticket's shard and shard-local id.
+  struct ShardLabel {
+    int shard = 0;
+    uint64_t id = 0;
+    int label = 0;
+  };
+
   ShardedMonitor(const ShardedMonitor&) = delete;
   ShardedMonitor& operator=(const ShardedMonitor&) = delete;
   ShardedMonitor(ShardedMonitor&&) = delete;
@@ -127,6 +142,41 @@ class ShardedMonitor {
   /// Only equivalent to Label(prediction.shard, ...) while no AddShard()
   /// intervened — prefer the ticket's shard for reshard-proof labelling.
   bool LabelKey(uint64_t key, uint64_t id, int true_label);
+
+  /// Lock-free feed ingress: enqueues the instance on the shard `key`
+  /// routes to *without contending on that shard's lock* — the producer
+  /// only holds the shared table lock. Returns false when the shard's
+  /// bounded ingress queue is full (explicit backpressure: retry, call
+  /// Flush(), or fall back to the locked Feed()).
+  ///
+  /// Determinism contract: queued entries are applied, in enqueue order,
+  /// under the shard lock *before* the next locked push on that shard and
+  /// before any state capture (Persist / DrainShard / ShipShard) — so
+  /// every capture is a consistent cut and results are bit-identical to
+  /// having called Feed() at the drain point. Entries enqueued while a
+  /// shard is shipped (paused) stay queued and apply to its successor
+  /// after RestoreShard()/DrainShard(). Aggregate *reads* (Snapshot,
+  /// Result, position, ...) do not drain — call Flush() first when
+  /// producers have stopped and every entry must be reflected.
+  bool FeedAsync(uint64_t key, const Instance& instance);
+
+  /// Drains every shard's ingress queue (skipping paused shards), taking
+  /// each shard lock once. Call after producers quiesce, before reading
+  /// aggregate state.
+  void Flush();
+
+  /// Batch pushes: partition the batch by the shard each key routes to,
+  /// take each involved shard's lock once, and apply that shard's
+  /// elements in batch order. Per-shard relative order equals batch
+  /// order, so per-shard results are bit-identical to per-instance calls.
+  /// `out` is resized to the batch size, element i answering batch[i].
+  void FeedBatch(const std::vector<KeyedInstance>& batch);
+  void PredictBatch(const std::vector<KeyedInstance>& batch,
+                    std::vector<Prediction>* out);
+  /// Mode-independent (like Label()). Validates every shard index before
+  /// applying anything (std::out_of_range on a bogus one is a no-op).
+  void LabelBatch(const std::vector<ShardLabel>& batch,
+                  std::vector<LabelOutcome>* outcomes = nullptr);
 
   // --- Round-robin mode pushes (throw std::logic_error in hash mode).
 
@@ -233,17 +283,25 @@ class ShardedMonitor {
   /// lock stays valid for the monitor's lifetime.
   struct Shard {
     Shard(std::unique_ptr<OnlineClassifier> c, std::unique_ptr<DriftDetector> d,
-          std::unique_ptr<MonitorEngine> e)
-        : classifier(std::move(c)), detector(std::move(d)),
-          engine(std::move(e)) {}
+          std::unique_ptr<MonitorEngine> e, size_t ingress_capacity)
+        : ingress(ingress_capacity), classifier(std::move(c)),
+          detector(std::move(d)), engine(std::move(e)) {}
 
     /// mutable: const sweeps (SerializeShard, Snapshot, ...) still lock.
     mutable runtime::Mutex mu;
+    /// Bounded lock-free feed ingress (see FeedAsync). The producer side
+    /// is internally synchronized; the consumer side (TryPop, inside
+    /// DrainIngress) runs under `mu` — a contract TSA cannot express for
+    /// an internally-locked type, hence no CCD_GUARDED_BY here.
+    runtime::MpscQueue<Instance> ingress;
     // Declaration order matters: the engine holds raw pointers into the
     // components, so they must outlive it on destruction.
     std::unique_ptr<OnlineClassifier> classifier CCD_GUARDED_BY(mu);
     std::unique_ptr<DriftDetector> detector CCD_GUARDED_BY(mu);
     std::unique_ptr<MonitorEngine> engine CCD_GUARDED_BY(mu);
+    /// Consumer-side pop buffer: reused so draining never allocates in
+    /// steady state.
+    Instance ingress_scratch CCD_GUARDED_BY(mu);
   };
 
   ShardedMonitor(const StreamSchema& schema, const PrequentialConfig& config,
@@ -251,7 +309,7 @@ class ShardedMonitor {
                  std::string detector_name, ParamMap detector_params,
                  uint64_t seed, size_t pending_capacity, int shards,
                  runtime::RoutingMode mode, uint64_t merge_every,
-                 ShardedHooks hooks);
+                 size_t ingress_capacity, ShardedHooks hooks);
 
   /// Restore path of Open(): adopts one decoded state image per shard
   /// instead of building fresh components. Defined in the .cc, where
@@ -261,8 +319,9 @@ class ShardedMonitor {
                  std::string detector_name, ParamMap detector_params,
                  uint64_t seed, size_t pending_capacity,
                  runtime::RoutingMode mode, uint64_t merge_every,
-                 ShardedHooks hooks, uint64_t completed_total,
-                 uint64_t generation, std::vector<io::StateImage>&& images);
+                 size_t ingress_capacity, ShardedHooks hooks,
+                 uint64_t completed_total, uint64_t generation,
+                 std::vector<io::StateImage>&& images);
 
   /// The identity half of shard `shard`'s state image (seed_ + shard and
   /// the registry names/params); the caller adds the captured state.
@@ -275,6 +334,11 @@ class ShardedMonitor {
   EngineHooks MakeShardHooks(int shard) const;
   void RequireMode(runtime::RoutingMode expected, const char* operation,
                    const char* alternative) const;
+  /// Applies every queued ingress entry of `s` to its engine, in enqueue
+  /// order; returns how many were applied (the caller owes that many
+  /// NoteCompleted() calls, made with no locks held). Skips a paused
+  /// (shipped) shard — the entries wait for its successor.
+  size_t DrainIngress(Shard& s) CCD_REQUIRES(s.mu);
   /// Counts one completed label and fires the periodic merged-metrics
   /// aggregate when the cadence is hit. Call with no locks held.
   void NoteCompleted();
@@ -293,6 +357,10 @@ class ShardedMonitor {
   const uint64_t seed_;
   const size_t pending_capacity_;
   const uint64_t merge_every_;  ///< 0 = no periodic merge.
+  /// Per-shard ingress queue bound (serving knob, not persisted state:
+  /// Open() rebuilds queues at the builder default, empty by definition —
+  /// Persist() drains before capturing).
+  const size_t ingress_capacity_;
   const ShardedHooks hooks_;
 
   runtime::Router router_;
@@ -337,6 +405,9 @@ class ShardedMonitorBuilder {
   ShardedMonitorBuilder& Mode(runtime::RoutingMode mode);
   /// Fire on_merged_metrics every `n` completed labels (0 disables).
   ShardedMonitorBuilder& MergeEvery(uint64_t n);
+  /// Per-shard FeedAsync queue bound (rounded up to a power of two,
+  /// clamped to >= 1; default 1024).
+  ShardedMonitorBuilder& IngressCapacity(size_t capacity);
 
   ShardedMonitorBuilder& OnDrift(
       std::function<void(int, const DriftAlarm&, const MetricsSnapshot&)>
@@ -369,6 +440,7 @@ class ShardedMonitorBuilder {
   int shards_ = 1;
   runtime::RoutingMode mode_ = runtime::RoutingMode::kHashKey;
   uint64_t merge_every_ = 0;
+  size_t ingress_capacity_ = 1024;
   ShardedHooks hooks_;
 };
 

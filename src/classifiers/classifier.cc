@@ -22,6 +22,11 @@ void OnlineClassifier::LoadState(io::Reader& /*reader*/) {
                          "restored from a snapshot");
 }
 
+void OnlineClassifier::PredictScoresInto(const Instance& instance,
+                                         std::vector<double>& out) const {
+  out = PredictScores(instance);
+}
+
 int OnlineClassifier::Predict(const Instance& instance) const {
   std::vector<double> scores = PredictScores(instance);
   int best = 0;

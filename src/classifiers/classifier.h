@@ -29,6 +29,14 @@ class OnlineClassifier {
   /// AUC metric relies on score ordering).
   virtual std::vector<double> PredictScores(const Instance& instance) const = 0;
 
+  /// Allocation-free form of PredictScores(): writes the scores into `out`,
+  /// reusing its capacity. Bit-identical to PredictScores() — the batch /
+  /// hot-path differential tests rely on that. The default copies through
+  /// PredictScores(); the built-in classifiers override it to compute in
+  /// place so a steady-state push performs no heap allocation.
+  virtual void PredictScoresInto(const Instance& instance,
+                                 std::vector<double>& out) const;
+
   /// Argmax of PredictScores.
   virtual int Predict(const Instance& instance) const;
 

@@ -168,9 +168,17 @@ void CsPerceptronTree::Train(const Instance& instance) {
 
 std::vector<double> CsPerceptronTree::PredictScores(
     const Instance& instance) const {
+  std::vector<double> scores;
+  PredictScoresInto(instance, scores);
+  return scores;
+}
+
+void CsPerceptronTree::PredictScoresInto(const Instance& instance,
+                                         std::vector<double>& out) const {
   int idx = Route(instance);
   const Leaf& leaf = *nodes_[static_cast<size_t>(idx)].leaf;
-  std::vector<double> scores = leaf.perceptron->PredictScores(instance);
+  leaf.perceptron->PredictScoresInto(instance, out);
+  std::vector<double>& scores = out;
 
   // Young leaves have unreliable perceptrons: blend with the leaf's class
   // frequency estimate (Laplace-smoothed), fading out by 100 instances.
@@ -184,7 +192,6 @@ std::vector<double> CsPerceptronTree::PredictScores(
   double s = 0.0;
   for (double v : scores) s += v;
   for (double& v : scores) v /= s;
-  return scores;
 }
 
 int CsPerceptronTree::depth() const {

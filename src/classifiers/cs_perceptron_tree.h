@@ -47,6 +47,8 @@ class CsPerceptronTree : public OnlineClassifier {
   const StreamSchema& schema() const override { return schema_; }
   void Train(const Instance& instance) override;
   std::vector<double> PredictScores(const Instance& instance) const override;
+  void PredictScoresInto(const Instance& instance,
+                         std::vector<double>& out) const override;
   void Reset() override;
   std::unique_ptr<OnlineClassifier> Clone() const override;
   /// Deep copy of the whole tree — node topology, per-leaf Gaussian

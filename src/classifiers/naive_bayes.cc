@@ -30,8 +30,16 @@ void GaussianNaiveBayes::Train(const Instance& instance) {
 
 std::vector<double> GaussianNaiveBayes::PredictScores(
     const Instance& instance) const {
+  std::vector<double> scores;
+  PredictScoresInto(instance, scores);
+  return scores;
+}
+
+void GaussianNaiveBayes::PredictScoresInto(const Instance& instance,
+                                           std::vector<double>& out) const {
   const size_t k = stats_.size();
-  std::vector<double> log_probs(k, 0.0);
+  out.assign(k, 0.0);
+  std::vector<double>& log_probs = out;
   double max_lp = -1e300;
   for (size_t c = 0; c < k; ++c) {
     // Laplace-smoothed prior.
@@ -54,7 +62,6 @@ std::vector<double> GaussianNaiveBayes::PredictScores(
     totalp += lp;
   }
   for (double& lp : log_probs) lp /= totalp;
-  return log_probs;
 }
 
 std::unique_ptr<OnlineClassifier> GaussianNaiveBayes::Clone() const {

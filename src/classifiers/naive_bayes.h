@@ -20,6 +20,8 @@ class GaussianNaiveBayes : public OnlineClassifier {
   const StreamSchema& schema() const override { return schema_; }
   void Train(const Instance& instance) override;
   std::vector<double> PredictScores(const Instance& instance) const override;
+  void PredictScoresInto(const Instance& instance,
+                         std::vector<double>& out) const override;
   void Reset() override;
   std::unique_ptr<OnlineClassifier> Clone() const override;
   std::unique_ptr<OnlineClassifier> CloneState() const override {

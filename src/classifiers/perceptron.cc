@@ -23,8 +23,16 @@ void SoftmaxPerceptron::Reset() {
 
 std::vector<double> SoftmaxPerceptron::PredictScores(
     const Instance& instance) const {
+  std::vector<double> scores;
+  PredictScoresInto(instance, scores);
+  return scores;
+}
+
+void SoftmaxPerceptron::PredictScoresInto(const Instance& instance,
+                                          std::vector<double>& out) const {
   const size_t k = weights_.size();
-  std::vector<double> logits(k, 0.0);
+  out.assign(k, 0.0);
+  std::vector<double>& logits = out;
   double max_logit = -1e300;
   for (size_t c = 0; c < k; ++c) {
     const auto& w = weights_[c];
@@ -40,7 +48,6 @@ std::vector<double> SoftmaxPerceptron::PredictScores(
     total += z;
   }
   for (double& z : logits) z /= total;
-  return logits;
 }
 
 double SoftmaxPerceptron::CostWeight(int k) const {
@@ -60,7 +67,8 @@ void SoftmaxPerceptron::Train(const Instance& instance) {
   total_count_ = total_count_ * params_.count_decay + 1.0;
   class_counts_[static_cast<size_t>(y)] += 1.0;
 
-  std::vector<double> probs = PredictScores(instance);
+  PredictScoresInto(instance, train_probs_);
+  const std::vector<double>& probs = train_probs_;
   double lr = params_.learning_rate * CostWeight(y) * instance.weight;
   for (size_t c = 0; c < weights_.size(); ++c) {
     double err = (static_cast<int>(c) == y ? 1.0 : 0.0) - probs[c];

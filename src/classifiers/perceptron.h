@@ -33,6 +33,8 @@ class SoftmaxPerceptron : public OnlineClassifier {
   const StreamSchema& schema() const override { return schema_; }
   void Train(const Instance& instance) override;
   std::vector<double> PredictScores(const Instance& instance) const override;
+  void PredictScoresInto(const Instance& instance,
+                         std::vector<double>& out) const override;
   void Reset() override;
   std::unique_ptr<OnlineClassifier> Clone() const override;
   std::unique_ptr<OnlineClassifier> CloneState() const override {
@@ -52,6 +54,8 @@ class SoftmaxPerceptron : public OnlineClassifier {
   std::vector<std::vector<double>> weights_;
   std::vector<double> class_counts_;
   double total_count_ = 0.0;
+  // ccd:state-skip(train_probs_, transient per-update scratch rewritten by every Train call; holds no learned state)
+  std::vector<double> train_probs_;
 };
 
 }  // namespace ccd

@@ -34,7 +34,16 @@ Rbm::Rbm(const Params& params, uint64_t seed) : params_(params), rng_(seed) {
 
 std::vector<double> Rbm::HiddenProbs(const std::vector<double>& v,
                                      const std::vector<double>& z) const {
-  std::vector<double> ph(static_cast<size_t>(params_.hidden));
+  std::vector<double> ph;
+  HiddenProbsInto(v, z, &ph);
+  return ph;
+}
+
+void Rbm::HiddenProbsInto(const std::vector<double>& v,
+                          const std::vector<double>& z,
+                          std::vector<double>* out) const {
+  std::vector<double>& ph = *out;
+  ph.resize(static_cast<size_t>(params_.hidden));
   for (int j = 0; j < params_.hidden; ++j) {
     double act = b_[static_cast<size_t>(j)];
     for (int i = 0; i < params_.visible; ++i) {
@@ -45,11 +54,18 @@ std::vector<double> Rbm::HiddenProbs(const std::vector<double>& v,
     }
     ph[static_cast<size_t>(j)] = Sigmoid(act);
   }
-  return ph;
 }
 
 std::vector<double> Rbm::VisibleProbs(const std::vector<double>& h) const {
-  std::vector<double> pv(static_cast<size_t>(params_.visible));
+  std::vector<double> pv;
+  VisibleProbsInto(h, &pv);
+  return pv;
+}
+
+void Rbm::VisibleProbsInto(const std::vector<double>& h,
+                           std::vector<double>* out) const {
+  std::vector<double>& pv = *out;
+  pv.resize(static_cast<size_t>(params_.visible));
   for (int i = 0; i < params_.visible; ++i) {
     double act = a_[static_cast<size_t>(i)];
     for (int j = 0; j < params_.hidden; ++j) {
@@ -57,11 +73,18 @@ std::vector<double> Rbm::VisibleProbs(const std::vector<double>& h) const {
     }
     pv[static_cast<size_t>(i)] = Sigmoid(act);
   }
-  return pv;
 }
 
 std::vector<double> Rbm::HiddenFromVisible(const std::vector<double>& v) const {
-  std::vector<double> ph(static_cast<size_t>(params_.hidden));
+  std::vector<double> ph;
+  HiddenFromVisibleInto(v, &ph);
+  return ph;
+}
+
+void Rbm::HiddenFromVisibleInto(const std::vector<double>& v,
+                                std::vector<double>* out) const {
+  std::vector<double>& ph = *out;
+  ph.resize(static_cast<size_t>(params_.hidden));
   for (int j = 0; j < params_.hidden; ++j) {
     double act = b_[static_cast<size_t>(j)];
     for (int i = 0; i < params_.visible; ++i) {
@@ -69,15 +92,30 @@ std::vector<double> Rbm::HiddenFromVisible(const std::vector<double>& v) const {
     }
     ph[static_cast<size_t>(j)] = Sigmoid(act);
   }
-  return ph;
 }
 
 std::vector<double> Rbm::ClassReadout(const std::vector<double>& v) const {
-  return ClassProbs(HiddenFromVisible(v));
+  std::vector<double> out;
+  ClassReadoutInto(v, &out);
+  return out;
+}
+
+void Rbm::ClassReadoutInto(const std::vector<double>& v,
+                           std::vector<double>* out) const {
+  HiddenFromVisibleInto(v, &scratch_.h2);
+  ClassProbsInto(scratch_.h2, out);
 }
 
 std::vector<double> Rbm::ClassProbs(const std::vector<double>& h) const {
-  std::vector<double> logits(static_cast<size_t>(params_.classes));
+  std::vector<double> logits;
+  ClassProbsInto(h, &logits);
+  return logits;
+}
+
+void Rbm::ClassProbsInto(const std::vector<double>& h,
+                         std::vector<double>* out) const {
+  std::vector<double>& logits = *out;
+  logits.resize(static_cast<size_t>(params_.classes));
   double max_logit = -1e300;
   for (int k = 0; k < params_.classes; ++k) {
     double act = c_[static_cast<size_t>(k)];
@@ -93,7 +131,6 @@ std::vector<double> Rbm::ClassProbs(const std::vector<double>& h) const {
     total += l;
   }
   for (double& l : logits) l /= total;
-  return logits;
 }
 
 double Rbm::ClassWeight(int y) const {
@@ -122,25 +159,42 @@ double Rbm::ClassWeight(int y) const {
 }
 
 void Rbm::TrainBatch(const std::vector<Instance>& batch) {
-  if (batch.empty()) return;
+  TrainBatch(batch.data(), batch.size());
+}
+
+void Rbm::TrainBatch(const Instance* batch, size_t count) {
+  if (count == 0) return;
   const size_t v_n = static_cast<size_t>(params_.visible);
   const size_t h_n = static_cast<size_t>(params_.hidden);
   const size_t z_n = static_cast<size_t>(params_.classes);
 
-  std::vector<double> gw(v_n * h_n, 0.0), gu(h_n * z_n, 0.0);
-  std::vector<double> ga(v_n, 0.0), gb(h_n, 0.0), gc(z_n, 0.0);
+  std::vector<double>& gw = scratch_.gw;
+  std::vector<double>& gu = scratch_.gu;
+  std::vector<double>& ga = scratch_.ga;
+  std::vector<double>& gb = scratch_.gb;
+  std::vector<double>& gc = scratch_.gc;
+  gw.assign(v_n * h_n, 0.0);
+  gu.assign(h_n * z_n, 0.0);
+  ga.assign(v_n, 0.0);
+  gb.assign(h_n, 0.0);
+  gc.assign(z_n, 0.0);
 
   // Update the decayed class counts first so this batch's weights reflect
   // its own composition.
-  for (const Instance& s : batch) {
+  for (size_t bi = 0; bi < count; ++bi) {
+    const Instance& s = batch[bi];
     for (double& n : class_counts_) n *= params_.count_decay;
     if (s.label >= 0 && s.label < params_.classes) {
       class_counts_[static_cast<size_t>(s.label)] += 1.0;
     }
   }
 
-  std::vector<double> z0(z_n), h_state(h_n);
-  for (const Instance& s : batch) {
+  std::vector<double>& z0 = scratch_.z0;
+  std::vector<double>& h_state = scratch_.h_state;
+  z0.resize(z_n);
+  h_state.resize(h_n);
+  for (size_t bi = 0; bi < count; ++bi) {
+    const Instance& s = batch[bi];
     if (s.label < 0 || s.label >= params_.classes) continue;
     const std::vector<double>& v0 = s.features;
     std::fill(z0.begin(), z0.end(), 0.0);
@@ -148,18 +202,21 @@ void Rbm::TrainBatch(const std::vector<Instance>& batch) {
     double weight = ClassWeight(s.label);
 
     // Positive phase: E_data[.] with clamped (v0, z0).
-    std::vector<double> ph0 = HiddenProbs(v0, z0);
+    std::vector<double>& ph0 = scratch_.ph0;
+    HiddenProbsInto(v0, z0, &ph0);
 
     // Negative phase: CD-k. Hidden states are sampled; visible and class
     // reconstructions use probabilities (standard CD practice).
     for (size_t j = 0; j < h_n; ++j) {
       h_state[j] = rng_.Bernoulli(ph0[j]) ? 1.0 : 0.0;
     }
-    std::vector<double> vk, zk, phk;
+    std::vector<double>& vk = scratch_.vk;
+    std::vector<double>& zk = scratch_.zk;
+    std::vector<double>& phk = scratch_.phk;
     for (int step = 0; step < params_.cd_steps; ++step) {
-      vk = VisibleProbs(h_state);
-      zk = ClassProbs(h_state);
-      phk = HiddenProbs(vk, zk);
+      VisibleProbsInto(h_state, &vk);
+      ClassProbsInto(h_state, &zk);
+      HiddenProbsInto(vk, zk, &phk);
       if (step + 1 < params_.cd_steps) {
         for (size_t j = 0; j < h_n; ++j) {
           h_state[j] = rng_.Bernoulli(phk[j]) ? 1.0 : 0.0;
@@ -190,13 +247,16 @@ void Rbm::TrainBatch(const std::vector<Instance>& batch) {
     // layer MLP step on U, c, W, b). This is what makes the class read-out
     // track p(y|x) sharply enough for Eq. 26's label term to carry signal.
     if (params_.discriminative_rate > 0.0) {
-      std::vector<double> hv = HiddenFromVisible(v0);
-      std::vector<double> py = ClassProbs(hv);
+      std::vector<double>& hv = scratch_.hv;
+      std::vector<double>& py = scratch_.py;
+      HiddenFromVisibleInto(v0, &hv);
+      ClassProbsInto(hv, &py);
       // Per-instance SGD step (unlike the CD update, which is a batch
       // mean); the cost clamp keeps extreme minority weights from blowing
       // up a single step.
       double dlr = params_.discriminative_rate * std::min(weight, 5.0);
-      std::vector<double> dh(h_n, 0.0);
+      std::vector<double>& dh = scratch_.dh;
+      dh.assign(h_n, 0.0);
       for (size_t k = 0; k < z_n; ++k) {
         double err = z0[k] - py[k];
         if (err == 0.0) continue;
@@ -217,7 +277,7 @@ void Rbm::TrainBatch(const std::vector<Instance>& batch) {
     }
   }
 
-  double lr = params_.learning_rate / static_cast<double>(batch.size());
+  double lr = params_.learning_rate / static_cast<double>(count);
   for (size_t i = 0; i < w_.size(); ++i) w_[i] += lr * gw[i];
   for (size_t i = 0; i < u_.size(); ++i) u_[i] += lr * gu[i];
   for (size_t i = 0; i < a_.size(); ++i) a_[i] += lr * ga[i];
@@ -226,11 +286,15 @@ void Rbm::TrainBatch(const std::vector<Instance>& batch) {
 }
 
 double Rbm::ReconstructionError(const std::vector<double>& x, int y) const {
-  std::vector<double> z(static_cast<size_t>(params_.classes), 0.0);
+  std::vector<double>& z = scratch_.z;
+  z.assign(static_cast<size_t>(params_.classes), 0.0);
   if (y >= 0 && y < params_.classes) z[static_cast<size_t>(y)] = 1.0;
-  std::vector<double> h = HiddenProbs(x, z);  // Mean-field h | v, z (Eq. 25).
-  std::vector<double> xr = VisibleProbs(h);   // Eq. 23.
-  std::vector<double> zr = ClassReadout(x);   // Eq. 24, read out from v.
+  std::vector<double>& h = scratch_.h;
+  std::vector<double>& xr = scratch_.xr;
+  std::vector<double>& zr = scratch_.zr;
+  HiddenProbsInto(x, z, &h);  // Mean-field h | v, z (Eq. 25).
+  VisibleProbsInto(h, &xr);   // Eq. 23.
+  ClassReadoutInto(x, &zr);   // Eq. 24, read out from v.
   double sq = 0.0;
   for (int i = 0; i < params_.visible; ++i) {
     double d = x[static_cast<size_t>(i)] - xr[static_cast<size_t>(i)];
@@ -246,9 +310,17 @@ double Rbm::ReconstructionError(const std::vector<double>& x, int y) const {
 }
 
 std::vector<double> Rbm::ClassifyProbs(const std::vector<double>& x) const {
+  std::vector<double> logits;
+  ClassifyProbsInto(x, &logits);
+  return logits;
+}
+
+void Rbm::ClassifyProbsInto(const std::vector<double>& x,
+                            std::vector<double>* out) const {
   // Free-energy discriminative read-out:
   //   log P(y|x) ∝ c_y + sum_j softplus(b_j + W_.j x + u_jy).
-  std::vector<double> base(static_cast<size_t>(params_.hidden));
+  std::vector<double>& base = scratch_.base;
+  base.resize(static_cast<size_t>(params_.hidden));
   for (int j = 0; j < params_.hidden; ++j) {
     double act = b_[static_cast<size_t>(j)];
     for (int i = 0; i < params_.visible; ++i) {
@@ -256,7 +328,8 @@ std::vector<double> Rbm::ClassifyProbs(const std::vector<double>& x) const {
     }
     base[static_cast<size_t>(j)] = act;
   }
-  std::vector<double> logits(static_cast<size_t>(params_.classes));
+  std::vector<double>& logits = *out;
+  logits.resize(static_cast<size_t>(params_.classes));
   double max_logit = -1e300;
   for (int k = 0; k < params_.classes; ++k) {
     double l = c_[static_cast<size_t>(k)];
@@ -272,7 +345,6 @@ std::vector<double> Rbm::ClassifyProbs(const std::vector<double>& x) const {
     total += l;
   }
   for (double& l : logits) l /= total;
-  return logits;
 }
 
 double Rbm::Energy(const std::vector<double>& v, const std::vector<double>& h,

@@ -52,6 +52,9 @@ class Rbm {
   /// One CD-k update from a mini-batch (Eq. 15-21). Instances' features
   /// must be in [0,1]; labels in [0, classes).
   void TrainBatch(const std::vector<Instance>& batch);
+  /// Pointer-range form, for callers that recycle a larger instance buffer
+  /// and train on its used prefix (RBM-IM's pending mini-batch).
+  void TrainBatch(const Instance* batch, size_t count);
 
   /// Per-class activation probabilities of h given clamped v and z
   /// (Eq. 10).
@@ -67,6 +70,27 @@ class Rbm {
   std::vector<double> ClassReadout(const std::vector<double>& v) const;
   /// Softmax class activations given h, Eq. 12.
   std::vector<double> ClassProbs(const std::vector<double>& h) const;
+
+  /// Allocation-free forms of the feed-forward passes above: each writes
+  /// into `out` (resized in place, capacity reused) with arithmetic
+  /// bit-identical to its by-value sibling. These are the per-push hot
+  /// path — ReconstructionError() and TrainBatch() route everything
+  /// through reused scratch so a trained, steady-state RBM performs no
+  /// heap allocation per evaluated instance. `out` must not alias `v`,
+  /// `z`, or `h`.
+  void HiddenProbsInto(const std::vector<double>& v,
+                       const std::vector<double>& z,
+                       std::vector<double>* out) const;
+  void VisibleProbsInto(const std::vector<double>& h,
+                        std::vector<double>* out) const;
+  void HiddenFromVisibleInto(const std::vector<double>& v,
+                             std::vector<double>* out) const;
+  void ClassReadoutInto(const std::vector<double>& v,
+                        std::vector<double>* out) const;
+  void ClassProbsInto(const std::vector<double>& h,
+                      std::vector<double>* out) const;
+  void ClassifyProbsInto(const std::vector<double>& x,
+                         std::vector<double>* out) const;
 
   /// Reconstruction error R(S_n^m) of Eq. 26, normalized by sqrt(V + Z)
   /// into [0,1] so downstream change detection sees a bounded signal. The
@@ -112,6 +136,16 @@ class Rbm {
     return u_[static_cast<size_t>(j) * params_.classes + k];
   }
 
+  /// Reused feed-forward / CD buffers so the hot paths never allocate.
+  /// Pure scratch: every vector is fully rewritten before it is read, so
+  /// the buffers carry no model state and never serialize.
+  struct Scratch {
+    std::vector<double> z, h, h2, xr, zr, base;       // Feed-forward.
+    std::vector<double> gw, gu, ga, gb, gc;           // CD gradients.
+    std::vector<double> z0, h_state, ph0, vk, zk, phk;  // Gibbs chain.
+    std::vector<double> hv, py, dh;                   // Discriminative step.
+  };
+
   Params params_;
   Rng rng_;
   std::vector<double> w_;  ///< V x H.
@@ -120,6 +154,8 @@ class Rbm {
   std::vector<double> b_;  ///< Hidden biases.
   std::vector<double> c_;  ///< Class biases.
   std::vector<double> class_counts_;
+  // ccd:state-skip(scratch_, transient feed-forward/CD scratch fully rewritten before every read; no model state)
+  mutable Scratch scratch_;
 };
 
 }  // namespace ccd

@@ -28,6 +28,7 @@ void RbmIm::Reset() {
   rbm_ = std::make_unique<Rbm>(rp, seed_);
   normalizer_ = MinMaxNormalizer(params_.num_features);
   pending_.clear();
+  pending_used_ = 0;
   monitors_.clear();
   monitors_.resize(static_cast<size_t>(params_.num_classes));
   for (auto& m : monitors_) {
@@ -49,6 +50,7 @@ std::unique_ptr<DriftDetector> RbmIm::CloneState() const {
   copy->rbm_ = std::make_unique<Rbm>(*rbm_);
   copy->normalizer_ = normalizer_;
   copy->pending_ = pending_;
+  copy->pending_used_ = pending_used_;
   copy->state_ = state_;
   copy->drifted_ = drifted_;
   copy->batches_ = batches_;
@@ -101,8 +103,10 @@ void RbmIm::SaveState(io::Writer& w) const {
   w.U64(seed_);
   rbm_->SaveState(w);
   io::WriteNormalizer(w, normalizer_);
-  w.U32(static_cast<uint32_t>(pending_.size()));
-  for (const Instance& x : pending_) io::WriteInstance(w, x);
+  // Only the used prefix is live state; slots beyond it are recycled
+  // capacity. Wire-identical to serializing a trimmed vector.
+  w.U32(static_cast<uint32_t>(pending_used_));
+  for (size_t i = 0; i < pending_used_; ++i) io::WriteInstance(w, pending_[i]);
   w.U32(static_cast<uint32_t>(monitors_.size()));
   for (const ClassMonitor& m : monitors_) {
     w.U32(static_cast<uint32_t>(m.recent.size()));
@@ -173,6 +177,7 @@ void RbmIm::LoadState(io::Reader& r) {
   for (uint32_t i = 0; i < npending; ++i) {
     pending_.push_back(io::ReadInstance(r));
   }
+  pending_used_ = pending_.size();
   uint32_t nmonitors = r.Count("rbm_im.monitors");
   if (nmonitors != monitors_.size()) {
     r.Fail("rbm_im.monitors",
@@ -238,12 +243,22 @@ void RbmIm::Observe(const Instance& instance, int /*predicted*/,
   // The normalizer is sized for params_.num_features and validates the
   // width: an instance that does not match the declared schema throws
   // std::invalid_argument here instead of corrupting the bounds arrays.
-  Instance normalized(normalizer_.ObserveTransform(instance.features),
-                      instance.label, instance.weight);
-  pending_.push_back(std::move(normalized));
-  if (pending_.size() >= static_cast<size_t>(params_.batch_size)) {
+  // Recycle a previously grown slot when one exists so the steady-state
+  // push performs no heap allocation.
+  if (pending_used_ < pending_.size()) {
+    Instance& slot = pending_[pending_used_];
+    normalizer_.ObserveTransformInto(instance.features, &slot.features);
+    slot.label = instance.label;
+    slot.weight = instance.weight;
+  } else {
+    Instance normalized(normalizer_.ObserveTransform(instance.features),
+                        instance.label, instance.weight);
+    pending_.push_back(std::move(normalized));
+  }
+  ++pending_used_;
+  if (pending_used_ >= static_cast<size_t>(params_.batch_size)) {
     ProcessBatch();
-    pending_.clear();
+    pending_used_ = 0;
   }
 }
 
@@ -255,21 +270,34 @@ void RbmIm::ProcessBatch() {
   // per-class mean reconstruction error (Eq. 27) over the pooled recent
   // instances against the *current* model, before it trains on this batch.
   // Pooling across batches gives minority classes a low-variance estimate.
-  std::vector<bool> fresh(static_cast<size_t>(params_.num_classes), false);
-  for (const Instance& s : pending_) {
+  std::vector<bool>& fresh = fresh_scratch_;
+  fresh.assign(static_cast<size_t>(params_.num_classes), false);
+  for (size_t i = 0; i < pending_used_; ++i) {
+    const Instance& s = pending_[i];
     if (s.label < 0 || s.label >= params_.num_classes) continue;
     ClassMonitor& m = monitors_[static_cast<size_t>(s.label)];
-    m.recent.push_back(s.features);
-    while (m.recent.size() > static_cast<size_t>(params_.eval_pool)) {
+    if (m.recent.size() >= static_cast<size_t>(params_.eval_pool)) {
+      // Pool is full: recycle the evicted oldest entry's buffer for the
+      // incoming copy, so steady-state pooling reuses capacity instead of
+      // allocating a fresh vector per instance.
+      std::vector<double> slot = std::move(m.recent.front());
       m.recent.pop_front();
+      slot.assign(s.features.begin(), s.features.end());
+      m.recent.push_back(std::move(slot));
+    } else {
+      m.recent.push_back(s.features);
     }
     fresh[static_cast<size_t>(s.label)] = true;
   }
-  std::vector<double> r_sum(static_cast<size_t>(params_.num_classes), 0.0);
-  std::vector<int> r_count(static_cast<size_t>(params_.num_classes), 0);
+  std::vector<double>& r_sum = r_sum_scratch_;
+  r_sum.assign(static_cast<size_t>(params_.num_classes), 0.0);
+  std::vector<int>& r_count = r_count_scratch_;
+  r_count.assign(static_cast<size_t>(params_.num_classes), 0);
   if (!warm) {
-    std::vector<int> batch_count(static_cast<size_t>(params_.num_classes), 0);
-    for (const Instance& s : pending_) {
+    std::vector<int>& batch_count = batch_count_scratch_;
+    batch_count.assign(static_cast<size_t>(params_.num_classes), 0);
+    for (size_t i = 0; i < pending_used_; ++i) {
+      const Instance& s = pending_[i];
       if (s.label >= 0 && s.label < params_.num_classes) {
         ++batch_count[static_cast<size_t>(s.label)];
       }
@@ -345,10 +373,10 @@ void RbmIm::ProcessBatch() {
 
   // ---- Adapt: online CD-k update with the skew-insensitive loss. After a
   // detected drift the batch is replayed to accelerate re-alignment.
-  rbm_->TrainBatch(pending_);
+  rbm_->TrainBatch(pending_.data(), pending_used_);
   if (any_drift) {
     for (int i = 0; i < params_.post_drift_boost; ++i) {
-      rbm_->TrainBatch(pending_);
+      rbm_->TrainBatch(pending_.data(), pending_used_);
     }
   }
 }

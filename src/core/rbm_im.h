@@ -164,8 +164,23 @@ class RbmIm : public DriftDetector {
   uint64_t seed_;
   std::unique_ptr<Rbm> rbm_;
   MinMaxNormalizer normalizer_;
-  std::vector<Instance> pending_;       ///< Current mini-batch buffer.
+  /// Current mini-batch buffer. Only the first `pending_used_` entries are
+  /// live: slots (and their feature vectors) are recycled across batches so
+  /// the per-push path never allocates once the buffer has grown.
+  std::vector<Instance> pending_;
+  size_t pending_used_ = 0;
   std::vector<ClassMonitor> monitors_;  ///< One per class.
+  // Per-batch pooling scratch, reused across ProcessBatch calls so the
+  // batch boundary only allocates inside the decision statistics (ADWIN
+  // buckets, Granger regressions), never for bookkeeping.
+  // ccd:state-skip(fresh_scratch_, transient ProcessBatch scratch fully rewritten per batch; no run state)
+  std::vector<bool> fresh_scratch_;
+  // ccd:state-skip(r_sum_scratch_, transient ProcessBatch scratch fully rewritten per batch; no run state)
+  std::vector<double> r_sum_scratch_;
+  // ccd:state-skip(r_count_scratch_, transient ProcessBatch scratch fully rewritten per batch; no run state)
+  std::vector<int> r_count_scratch_;
+  // ccd:state-skip(batch_count_scratch_, transient ProcessBatch scratch fully rewritten per batch; no run state)
+  std::vector<int> batch_count_scratch_;
   DetectorState state_ = DetectorState::kStable;
   std::vector<int> drifted_;
   uint64_t batches_ = 0;

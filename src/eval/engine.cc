@@ -67,6 +67,9 @@ MonitorEngine::MonitorEngine(const StreamSchema& schema,
   acc_.class_counts.assign(
       schema_.num_classes > 0 ? static_cast<size_t>(schema_.num_classes) : 0,
       0);
+  // Preallocate the pending ring up front: growing a ring while rotated
+  // would scramble the logical order, and the hot path must not allocate.
+  pending_slots_.resize(capacity_);
 }
 
 void MonitorEngine::RequireNotInHook(const char* operation) const {
@@ -88,53 +91,116 @@ void MonitorEngine::Feed(const Instance& instance) {
     Complete(instance, /*measured=*/false, 0, {});
     return;
   }
-  std::vector<double> scores = classifier_->PredictScores(instance);
-  int predicted = Argmax(scores);
-  Complete(instance, /*measured=*/true, predicted, scores);
+  classifier_->PredictScoresInto(instance, scores_scratch_);
+  int predicted = Argmax(scores_scratch_);
+  Complete(instance, /*measured=*/true, predicted, scores_scratch_);
+}
+
+void MonitorEngine::FeedBatch(const std::vector<Instance>& batch) {
+  for (const Instance& instance : batch) Feed(instance);
 }
 
 MonitorEngine::Ticket MonitorEngine::Predict(
     const std::vector<double>& features, double weight) {
+  Ticket ticket;
+  Predict(features, weight, &ticket);
+  return ticket;
+}
+
+void MonitorEngine::Predict(const std::vector<double>& features, double weight,
+                            Ticket* out) {
   RequireNotInHook("Predict()");
   if (paused_) {
     throw std::logic_error("MonitorEngine: Predict() on a paused engine");
   }
-  PendingPrediction p;
+  // Build the prediction directly in its ring slot, reusing the slot's
+  // feature/score capacity. When full, the oldest prediction is evicted
+  // (its label is the most overdue) and its slot becomes the new back.
+  size_t slot;
+  if (pending_count_ >= capacity_) {
+    slot = pending_head_;
+    pending_head_ = (pending_head_ + 1) % capacity_;
+    ++evicted_;
+  } else {
+    slot = (pending_head_ + pending_count_) % capacity_;
+    ++pending_count_;
+  }
+  PendingPrediction& p = pending_slots_[slot];
   p.id = next_id_++;
-  p.instance = Instance(features, /*y=*/-1, weight);
-  p.scores = classifier_->PredictScores(p.instance);
+  p.instance.features = features;
+  p.instance.label = -1;
+  p.instance.weight = weight;
+  classifier_->PredictScoresInto(p.instance, p.scores);
   p.predicted = Argmax(p.scores);
 
-  Ticket ticket;
-  ticket.id = p.id;
-  ticket.predicted = p.predicted;
-  ticket.scores = p.scores;
+  out->id = p.id;
+  out->predicted = p.predicted;
+  out->scores = p.scores;
+}
 
-  if (pending_.size() >= capacity_) {
-    pending_.pop_front();  // Oldest first: its label is the most overdue.
-    ++evicted_;
+void MonitorEngine::PredictBatch(const std::vector<Instance>& batch,
+                                 std::vector<Ticket>* out) {
+  out->resize(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Predict(batch[i].features, batch[i].weight, &(*out)[i]);
   }
-  pending_.push_back(std::move(p));
-  return ticket;
 }
 
 LabelOutcome MonitorEngine::Label(uint64_t id, int true_label) {
   RequireNotInHook("Label()");
-  // Ids are issued monotonically and the buffer is ordered, so the lookup
-  // is a binary search even when labels arrive out of order.
-  auto it = std::lower_bound(
-      pending_.begin(), pending_.end(), id,
-      [](const PendingPrediction& p, uint64_t v) { return p.id < v; });
-  if (it == pending_.end() || it->id != id) {
+  // Ids are issued monotonically and the ring is ordered, so the lookup is
+  // a binary search over logical indices even when labels arrive out of
+  // order.
+  size_t lo = 0, hi = pending_count_;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (PendingAt(mid).id < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == pending_count_ || PendingAt(lo).id != id) {
     ++unmatched_;
     return LabelOutcome::kUnknown;
   }
-  PendingPrediction p = std::move(*it);
-  pending_.erase(it);
+  // Bubble the match to the nearer edge of the ring and pop it there: the
+  // remaining predictions keep their relative (id) order, no slot's buffer
+  // capacity is lost, and an in-order label (the common case) costs no
+  // swaps at all. The popped element's data stays in the vacated physical
+  // slot, which nothing can touch until the next Predict().
+  size_t vacated;
+  if (lo < pending_count_ - 1 - lo) {
+    for (size_t k = lo; k > 0; --k) {
+      std::swap(PendingAt(k), PendingAt(k - 1));
+    }
+    vacated = pending_head_;
+    pending_head_ = (pending_head_ + 1) % capacity_;
+    --pending_count_;
+  } else {
+    for (size_t k = lo; k + 1 < pending_count_; ++k) {
+      std::swap(PendingAt(k), PendingAt(k + 1));
+    }
+    --pending_count_;
+    vacated = (pending_head_ + pending_count_) % capacity_;
+  }
+  PendingPrediction& p = pending_slots_[vacated];
   p.instance.label = true_label;
   const bool measured = completed_ >= config_.warmup;
   Complete(p.instance, measured, p.predicted, p.scores);
   return LabelOutcome::kApplied;
+}
+
+void MonitorEngine::LabelBatch(const std::vector<LabelRequest>& batch,
+                               std::vector<LabelOutcome>* outcomes) {
+  if (outcomes != nullptr) {
+    outcomes->clear();
+    outcomes->reserve(batch.size());
+  }
+  for (const LabelRequest& req : batch) {
+    LabelOutcome outcome = Label(req.id, req.label);
+    if (outcomes != nullptr) outcomes->push_back(outcome);
+  }
 }
 
 void MonitorEngine::Complete(const Instance& instance, bool measured,
@@ -247,7 +313,7 @@ MetricsSnapshot MonitorEngine::TakeSnapshot(uint64_t position) const {
 EngineSnapshot MonitorEngine::Snapshot() const {
   EngineSnapshot s;
   s.position = completed_;
-  s.pending = pending_.size();
+  s.pending = pending_count_;
   s.evicted = evicted_;
   s.unmatched_labels = unmatched_;
   s.metric_samples = samples_;
@@ -255,9 +321,11 @@ EngineSnapshot MonitorEngine::Snapshot() const {
   s.last_detector_state = last_state_;
   s.drift_log = acc_.drift_events;
   s.class_counts = acc_.class_counts;
-  s.window.assign(metrics_.entries().begin(), metrics_.entries().end());
-  s.pending_predictions.reserve(pending_.size());
-  for (const PendingPrediction& p : pending_) {
+  metrics_.CopyWindow(&s.window);
+  s.pending_predictions.reserve(pending_count_);
+  for (size_t k = 0; k < pending_count_; ++k) {
+    const PendingPrediction& p =
+        pending_slots_[(pending_head_ + k) % capacity_];
     s.pending_predictions.push_back(
         EngineSnapshot::PendingEntry{p.id, p.instance, p.predicted, p.scores});
   }
@@ -321,10 +389,18 @@ void MonitorEngine::Restore(const EngineSnapshot& s) {
     metrics_.Add(e.truth, e.predicted, e.scores);
   }
 
-  pending_.clear();
-  for (const EngineSnapshot::PendingEntry& p : s.pending_predictions) {
-    pending_.push_back(PendingPrediction{p.id, p.instance, p.predicted,
-                                         p.scores});
+  // Re-linearize the pending ring (capacity was validated above). Slots
+  // beyond the restored count keep their old buffers for reuse; they are
+  // logically absent.
+  pending_head_ = 0;
+  pending_count_ = s.pending_predictions.size();
+  for (size_t k = 0; k < pending_count_; ++k) {
+    const EngineSnapshot::PendingEntry& p = s.pending_predictions[k];
+    PendingPrediction& slot = pending_slots_[k];
+    slot.id = p.id;
+    slot.instance = p.instance;
+    slot.predicted = p.predicted;
+    slot.scores = p.scores;
   }
 
   acc_ = PrequentialResult{};

@@ -2,7 +2,6 @@
 #define CCD_EVAL_ENGINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -141,6 +140,13 @@ enum class LabelOutcome {
   kUnknown,  ///< No pending prediction with that id (evicted or bogus).
 };
 
+/// One late ground-truth delivery, the element of LabelBatch(): the ticket
+/// id returned by Predict() plus the true label that finally arrived.
+struct LabelRequest {
+  uint64_t id = 0;
+  int label = 0;
+};
+
 /// Push-driven online evaluation engine: one (classifier, detector,
 /// windowed-metrics) triple behind a serving-style surface. The engine
 /// inverts the control flow of the classic pull-based prequential loop —
@@ -191,8 +197,17 @@ class MonitorEngine {
 
   /// Immediate-label fast path: one prequential step (warmup handling,
   /// predict, metrics, detector, drift coupling, train, sampling).
-  /// Throws std::logic_error while paused.
+  /// Throws std::logic_error while paused. Allocation-free in steady state:
+  /// scores are computed into a reused scratch buffer
+  /// (OnlineClassifier::PredictScoresInto) and the metric window recycles
+  /// its entry slots.
   void Feed(const Instance& instance);
+
+  /// Batch form of Feed(): applies every instance in order, bit-identical
+  /// to the equivalent sequence of Feed() calls (the differential tests
+  /// pin this). Exists so callers holding a shard lock can amortize it
+  /// over the whole batch.
+  void FeedBatch(const std::vector<Instance>& batch);
 
   /// Serving path, prediction side. Scores come from the classifier as it
   /// is *now*; a later Label() completes the step with these scores, so
@@ -200,11 +215,30 @@ class MonitorEngine {
   /// latency. Throws std::logic_error while paused.
   Ticket Predict(const std::vector<double>& features, double weight = 1.0);
 
+  /// Allocation-free form of Predict(): fills `out` in place, reusing its
+  /// score-vector capacity. Bit-identical to the by-value overload.
+  void Predict(const std::vector<double>& features, double weight,
+               Ticket* out);
+
+  /// Batch form of Predict(): one ticket per instance (labels ignored,
+  /// weights honored), in order, bit-identical to per-instance calls.
+  /// `out` is resized to the batch and its tickets' capacity reused.
+  void PredictBatch(const std::vector<Instance>& batch,
+                    std::vector<Ticket>* out);
+
   /// Serving path, label side. Ids are matched against the pending buffer;
   /// evicted or never-issued ids return kUnknown and are counted. Allowed
   /// while paused, so in-flight predictions can be drained before a
   /// Snapshot() handoff.
   LabelOutcome Label(uint64_t id, int true_label);
+
+  /// Batch form of Label(): applies the requests strictly in order, so the
+  /// evicted()/unmatched_labels() accounting under out-of-order or
+  /// duplicate ids is exactly that of the per-instance calls. When
+  /// `outcomes` is non-null it is cleared and filled with one outcome per
+  /// request.
+  void LabelBatch(const std::vector<LabelRequest>& batch,
+                  std::vector<LabelOutcome>* outcomes = nullptr);
 
   /// Pause() refuses new work (Feed/Predict throw std::logic_error) while
   /// still accepting Label() for in-flight predictions — the drain step of
@@ -222,7 +256,7 @@ class MonitorEngine {
   bool paused() const { return paused_; }
 
   uint64_t position() const { return completed_; }
-  size_t pending() const { return pending_.size(); }
+  size_t pending() const { return pending_count_; }
   uint64_t evicted() const { return evicted_; }
   uint64_t unmatched_labels() const { return unmatched_; }
   /// Detector state after the most recent measured step (kStable when no
@@ -260,6 +294,13 @@ class MonitorEngine {
   /// `measured` is false for the warmup prefix (train-only, no metrics).
   void Complete(const Instance& instance, bool measured, int predicted,
                 const std::vector<double>& scores);
+  /// The k-th oldest parked prediction (logical ring indexing).
+  PendingPrediction& PendingAt(size_t k) {
+    return pending_slots_[(pending_head_ + k) % capacity_];
+  }
+  const PendingPrediction& PendingAt(size_t k) const {
+    return pending_slots_[(pending_head_ + k) % capacity_];
+  }
   MetricsSnapshot TakeSnapshot(uint64_t position) const;
   /// Throws std::logic_error when called from inside an EngineHooks
   /// callback — the reentrancy guard of every mutating entry point.
@@ -279,11 +320,17 @@ class MonitorEngine {
   PrequentialConfig config_;
   // ccd:state-skip(hooks_, callbacks bind to the owning process; they never transfer between engines)
   EngineHooks hooks_;
-  // ccd:state-skip(capacity_, derived from config_ at construction; not run state)
   size_t capacity_ = 1024;
 
   WindowedMetrics metrics_;
-  std::deque<PendingPrediction> pending_;  ///< Ascending by id.
+  /// Pending-prediction ring, preallocated to `capacity_` at construction
+  /// so a steady-state Predict/Label cycle never touches the heap: slot
+  /// `(pending_head_ + k) % capacity_` is the k-th oldest parked
+  /// prediction; slots keep their feature/score vector capacity across
+  /// reuse. Ids are ascending in logical order (Label() binary-searches).
+  std::vector<PendingPrediction> pending_slots_;
+  size_t pending_head_ = 0;
+  size_t pending_count_ = 0;
   uint64_t next_id_ = 1;
   uint64_t completed_ = 0;
   uint64_t evicted_ = 0;
@@ -298,6 +345,8 @@ class MonitorEngine {
   PrequentialResult acc_;
   double sum_pmauc_ = 0.0, sum_pmgm_ = 0.0, sum_acc_ = 0.0, sum_kappa_ = 0.0;
   uint64_t samples_ = 0;
+  // ccd:state-skip(scores_scratch_, transient Feed-path scratch rewritten every push; holds no run state)
+  std::vector<double> scores_scratch_;
 };
 
 }  // namespace ccd

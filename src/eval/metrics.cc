@@ -6,22 +6,29 @@ namespace ccd {
 
 double BinaryAuc(const std::vector<double>& positive_scores,
                  const std::vector<double>& negative_scores) {
+  std::vector<std::pair<double, int>> pool;
+  return BinaryAuc(positive_scores, negative_scores, pool);
+}
+
+double BinaryAuc(const std::vector<double>& positive_scores,
+                 const std::vector<double>& negative_scores,
+                 std::vector<std::pair<double, int>>& pool) {
   if (positive_scores.empty() || negative_scores.empty()) return 0.5;
   // Pool, sort, midrank; AUC = (rank_sum_pos - n_pos(n_pos+1)/2) / (n_pos*n_neg).
-  std::vector<std::pair<double, int>> pooled;
-  pooled.reserve(positive_scores.size() + negative_scores.size());
-  for (double s : positive_scores) pooled.emplace_back(s, 1);
-  for (double s : negative_scores) pooled.emplace_back(s, 0);
-  std::sort(pooled.begin(), pooled.end(),
+  pool.clear();
+  pool.reserve(positive_scores.size() + negative_scores.size());
+  for (double s : positive_scores) pool.emplace_back(s, 1);
+  for (double s : negative_scores) pool.emplace_back(s, 0);
+  std::sort(pool.begin(), pool.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   double rank_sum_pos = 0.0;
   size_t i = 0;
-  while (i < pooled.size()) {
+  while (i < pool.size()) {
     size_t j = i;
-    while (j + 1 < pooled.size() && pooled[j + 1].first == pooled[i].first) ++j;
+    while (j + 1 < pool.size() && pool[j + 1].first == pool[i].first) ++j;
     double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
     for (size_t m = i; m <= j; ++m) {
-      if (pooled[m].second == 1) rank_sum_pos += midrank;
+      if (pool[m].second == 1) rank_sum_pos += midrank;
     }
     i = j + 1;
   }
@@ -30,60 +37,101 @@ double BinaryAuc(const std::vector<double>& positive_scores,
   return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
 }
 
+WindowedMetrics::WindowedMetrics(int num_classes, int window)
+    : num_classes_(num_classes), window_(window), confusion_(num_classes) {
+  if (window_ > 0) {
+    ring_.reserve(static_cast<size_t>(window_));
+  }
+  // Buckets exist even for a degenerate (<= 0) window: PmAuc indexes
+  // bucket_[c] for every class unconditionally. Their slot rings are
+  // empty then — Add never stores, so counts stay 0.
+  bucket_.resize(static_cast<size_t>(num_classes_ > 0 ? num_classes_ : 0));
+  for (SlotRing& b : bucket_) {
+    b.slots.resize(static_cast<size_t>(window_ > 0 ? window_ : 0));
+  }
+}
+
 void WindowedMetrics::Add(int truth, int predicted,
                           const std::vector<double>& scores) {
-  entries_.push_back({truth, predicted, scores});
+  if (window_ <= 0) {
+    // Degenerate window: the entry enters and leaves immediately, exactly
+    // as in the naive push-then-evict formulation.
+    confusion_.Add(truth, predicted);
+    confusion_.Remove(truth, predicted);
+    return;
+  }
   confusion_.Add(truth, predicted);
-  if (static_cast<int>(entries_.size()) > window_) {
-    const Entry& old = entries_.front();
+  uint32_t slot;
+  if (ring_.size() < static_cast<size_t>(window_)) {
+    // Filling: head_ is still 0, so physical == logical order.
+    slot = static_cast<uint32_t>(ring_.size());
+    ring_.push_back(Entry{truth, predicted, scores});
+  } else {
+    // Full: the oldest entry (at head_) is evicted and its slot reused for
+    // the newcomer, which thereby becomes the logical back.
+    slot = static_cast<uint32_t>(head_);
+    Entry& old = ring_[head_];
     confusion_.Remove(old.truth, old.predicted);
-    entries_.pop_front();
+    if (old.truth >= 0 && old.truth < num_classes_) {
+      // The globally oldest entry is also the oldest of its class.
+      bucket_[static_cast<size_t>(old.truth)].PopFront();
+    }
+    old.truth = truth;
+    old.predicted = predicted;
+    old.scores = scores;  // Copy-assign reuses the slot's capacity.
+    head_ = (head_ + 1) % static_cast<size_t>(window_);
+  }
+  if (truth >= 0 && truth < num_classes_) {
+    bucket_[static_cast<size_t>(truth)].PushBack(slot);
   }
 }
 
 double WindowedMetrics::PmAuc() const {
-  // Bucket window entries per true class once.
-  std::vector<std::vector<const Entry*>> by_class(
-      static_cast<size_t>(num_classes_));
-  for (const Entry& e : entries_) {
-    if (e.truth >= 0 && e.truth < num_classes_) {
-      by_class[static_cast<size_t>(e.truth)].push_back(&e);
-    }
-  }
   double auc_sum = 0.0;
   int pairs = 0;
   for (int i = 0; i < num_classes_; ++i) {
-    if (by_class[static_cast<size_t>(i)].empty()) continue;
+    const SlotRing& bi = bucket_[static_cast<size_t>(i)];
+    if (bi.count == 0) continue;
     for (int j = i + 1; j < num_classes_; ++j) {
-      if (by_class[static_cast<size_t>(j)].empty()) continue;
+      const SlotRing& bj = bucket_[static_cast<size_t>(j)];
+      if (bj.count == 0) continue;
       // One-vs-one AUC between classes i (positive) and j (negative),
       // scoring each instance by its normalized support for class i.
       // Stored score vectors may be shorter than num_classes (a classifier
       // that scores only the classes it has seen, or none at all); a class
       // with no stored score has zero support.
-      std::vector<double> pos, neg;
-      auto support = [](const Entry* e, int c) {
-        return static_cast<size_t>(c) < e->scores.size()
-                   ? e->scores[static_cast<size_t>(c)]
+      auto support = [](const Entry& e, int c) {
+        return static_cast<size_t>(c) < e.scores.size()
+                   ? e.scores[static_cast<size_t>(c)]
                    : 0.0;
       };
-      auto score_ratio = [&](const Entry* e) {
+      auto score_ratio = [&](const Entry& e) {
         double si = support(e, i);
         double sj = support(e, j);
         double denom = si + sj;
         return denom > 0.0 ? si / denom : 0.5;
       };
-      for (const Entry* e : by_class[static_cast<size_t>(i)]) {
-        pos.push_back(score_ratio(e));
+      pos_scratch_.clear();
+      neg_scratch_.clear();
+      for (size_t n = 0; n < bi.count; ++n) {
+        pos_scratch_.push_back(score_ratio(ring_[bi.At(n)]));
       }
-      for (const Entry* e : by_class[static_cast<size_t>(j)]) {
-        neg.push_back(score_ratio(e));
+      for (size_t n = 0; n < bj.count; ++n) {
+        neg_scratch_.push_back(score_ratio(ring_[bj.At(n)]));
       }
-      auc_sum += BinaryAuc(pos, neg);
+      auc_sum += BinaryAuc(pos_scratch_, neg_scratch_, pool_scratch_);
       ++pairs;
     }
   }
   return pairs > 0 ? auc_sum / pairs : 0.5;
+}
+
+void WindowedMetrics::CopyWindow(std::vector<Entry>* out) const {
+  const size_t n = ring_.size();
+  out->reserve(out->size() + n);
+  for (size_t k = 0; k < n; ++k) {
+    out->push_back(ring_[(head_ + k) % n]);
+  }
 }
 
 }  // namespace ccd

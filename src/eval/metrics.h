@@ -2,7 +2,8 @@
 #define CCD_EVAL_METRICS_H_
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "eval/confusion.h"
@@ -14,13 +15,20 @@ namespace ccd {
 /// of Wang & Minku) and pmGM (windowed geometric mean of class recalls),
 /// plus accuracy and Cohen's kappa. The paper evaluates with window
 /// W = 1000.
+///
+/// The window is a preallocated ring and the per-true-class buckets pmAUC
+/// needs are maintained incrementally on Add/evict, so an evaluation tick
+/// never re-scans or re-buckets the window and a steady-state Add performs
+/// no heap allocation (entry slots and score vectors are reused in place).
+/// Peak memory is bounded at construction: window entries plus one
+/// window-sized index ring per class.
 class WindowedMetrics {
  public:
-  WindowedMetrics(int num_classes, int window = 1000)
-      : num_classes_(num_classes), window_(window), confusion_(num_classes) {}
+  WindowedMetrics(int num_classes, int window = 1000);
 
   /// Records one prequential outcome (scores are the classifier's
-  /// normalized per-class supports for the instance).
+  /// normalized per-class supports for the instance). Allocation-free once
+  /// the window has filled and score widths have stabilized.
   void Add(int truth, int predicted, const std::vector<double>& scores);
 
   /// pmAUC over the current window: mean over ordered class pairs (i < j),
@@ -35,7 +43,7 @@ class WindowedMetrics {
   double Accuracy() const { return confusion_.Accuracy(); }
   double Kappa() const { return confusion_.Kappa(); }
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return ring_.size(); }
   const ConfusionMatrix& confusion() const { return confusion_; }
 
   /// One windowed outcome. Public so the monitoring engine can snapshot
@@ -52,15 +60,46 @@ class WindowedMetrics {
     friend bool operator!=(const Entry& a, const Entry& b) { return !(a == b); }
   };
 
-  /// Window contents, oldest first. Together with the schema this is the
-  /// complete metric state of a run at a point in time.
-  const std::deque<Entry>& entries() const { return entries_; }
+  /// Appends the window contents, oldest first, to `out`. Together with
+  /// the schema this is the complete metric state of a run at a point in
+  /// time (the linearized form of the internal ring).
+  void CopyWindow(std::vector<Entry>* out) const;
 
  private:
+  /// Fixed-capacity FIFO of ring-slot indices — the per-class bucket.
+  /// Capacity is the window size (a single class can own the whole
+  /// window), so push/pop never allocate.
+  struct SlotRing {
+    std::vector<uint32_t> slots;
+    size_t head = 0;
+    size_t count = 0;
+
+    void PushBack(uint32_t slot) {
+      slots[(head + count) % slots.size()] = slot;
+      ++count;
+    }
+    void PopFront() {
+      head = (head + 1) % slots.size();
+      --count;
+    }
+    uint32_t At(size_t i) const { return slots[(head + i) % slots.size()]; }
+  };
+
   int num_classes_;
   int window_;
-  std::deque<Entry> entries_;
+  /// Window entries in a ring: ring_[(head_ + k) % window_] is the k-th
+  /// oldest. Grows by push_back only while filling (head_ == 0), then
+  /// entries are overwritten in place.
+  std::vector<Entry> ring_;
+  size_t head_ = 0;
   ConfusionMatrix confusion_;
+  /// bucket_[c] lists the ring slots whose entry has truth c, oldest
+  /// first — maintained incrementally so PmAuc never re-buckets.
+  std::vector<SlotRing> bucket_;
+  /// PmAuc scratch (reused across pairs and calls; no metric state).
+  mutable std::vector<double> pos_scratch_;
+  mutable std::vector<double> neg_scratch_;
+  mutable std::vector<std::pair<double, int>> pool_scratch_;
 };
 
 /// AUC of binary scores-vs-labels via the rank-sum estimator (midranks for
@@ -68,6 +107,12 @@ class WindowedMetrics {
 /// of true negatives. Returns 0.5 when either side is empty.
 double BinaryAuc(const std::vector<double>& positive_scores,
                  const std::vector<double>& negative_scores);
+
+/// Scratch-buffer overload for allocation-free callers: `pool` is cleared
+/// and reused for the rank pooling (capacity persists across calls).
+double BinaryAuc(const std::vector<double>& positive_scores,
+                 const std::vector<double>& negative_scores,
+                 std::vector<std::pair<double, int>>& pool);
 
 }  // namespace ccd
 

@@ -25,7 +25,7 @@ namespace io {
 /// `python3 tools/state_audit.py --update`; the static-analysis CI job
 /// fails any schema change that skips the bump (schema-drift gate
 /// against tools/wire_schema.json).
-inline constexpr uint32_t kStateSchemaVersion = 1;
+inline constexpr uint32_t kStateSchemaVersion = 2;
 
 /// Small-type codecs shared by every component's SaveState()/LoadState().
 /// Each pair is an exact inverse: Read*(Write*(x)) reproduces x bit for

@@ -55,10 +55,35 @@ class MinMaxNormalizer {
     return out;
   }
 
+  /// Allocation-free form of Transform(): writes into `out`, reusing its
+  /// capacity. `out` must not alias `x`. Bit-identical to Transform().
+  void TransformInto(const std::vector<double>& x,
+                     std::vector<double>* out) const {
+    CheckWidth(x);
+    out->resize(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      double span = hi_[i] - lo_[i];
+      if (span <= 0.0 || !seen_) {
+        (*out)[i] = 0.5;
+      } else {
+        double v = (x[i] - lo_[i]) / span;
+        (*out)[i] = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+      }
+    }
+  }
+
   /// Observe + Transform in one call (the usual streaming order).
   std::vector<double> ObserveTransform(const std::vector<double>& x) {
     Observe(x);
     return Transform(x);
+  }
+
+  /// Allocation-free ObserveTransform(): the per-push path of RBM-IM's
+  /// pending mini-batch, which recycles its instance slots.
+  void ObserveTransformInto(const std::vector<double>& x,
+                            std::vector<double>* out) {
+    Observe(x);
+    TransformInto(x, out);
   }
 
   bool seen() const { return seen_; }

@@ -264,6 +264,167 @@ TEST(MonitorEngineTest, CapacityIsClampedToOne) {
   EXPECT_EQ(engine.evicted(), 1u);
 }
 
+// ------------------------------------------------- (d) batch push surface
+
+// FeedBatch in chunks (including an empty one) is the per-instance Feed
+// sequence, bit for bit — the batch entry changes call granularity only.
+TEST(MonitorEngineTest, FeedBatchIsBitIdenticalToFeed) {
+  const StreamSpec* spec = FindStreamSpec("RBF5");
+  ASSERT_NE(spec, nullptr);
+  BuildOptions options;
+  options.scale = 0.001;
+  PrequentialConfig cfg = ShortConfig();
+
+  BuiltStream built = BuildStream(*spec, options);
+  std::vector<Instance> data = Take(built.stream.get(), cfg.max_instances);
+
+  GaussianNaiveBayes clf_one(built.stream->schema());
+  Ddm det_one;
+  MonitorEngine one(built.stream->schema(), &clf_one, &det_one, cfg);
+  for (const Instance& inst : data) one.Feed(inst);
+
+  GaussianNaiveBayes clf_batch(built.stream->schema());
+  Ddm det_batch;
+  MonitorEngine batched(built.stream->schema(), &clf_batch, &det_batch, cfg);
+  size_t i = 0;
+  for (size_t chunk : {1u, 7u, 0u, 64u, 256u}) {
+    const size_t end = std::min(data.size(), i + chunk);
+    batched.FeedBatch({data.begin() + static_cast<long>(i),
+                       data.begin() + static_cast<long>(end)});
+    i = end;
+  }
+  batched.FeedBatch({data.begin() + static_cast<long>(i), data.end()});
+  ExpectBitIdentical(one.Result(), batched.Result());
+}
+
+// PredictBatch + LabelBatch is the split Predict/Label cycle, bit for
+// bit, ticket ids and outcomes included.
+TEST(MonitorEngineTest, BatchServingCycleMatchesSplit) {
+  const StreamSpec* spec = FindStreamSpec("RBF5");
+  ASSERT_NE(spec, nullptr);
+  BuildOptions options;
+  options.scale = 0.001;
+  PrequentialConfig cfg = ShortConfig();
+
+  BuiltStream built = BuildStream(*spec, options);
+  std::vector<Instance> data = Take(built.stream.get(), cfg.max_instances);
+
+  constexpr size_t kChunk = 37;  // Deliberately not a divisor of the run.
+
+  // Per-instance reference with the SAME phasing as the batch API: all
+  // predicts of a chunk land before its labels (Label trains the
+  // classifier, so phasing is semantically load-bearing, not cosmetic).
+  GaussianNaiveBayes clf_split(built.stream->schema());
+  Fhddm det_split;
+  MonitorEngine split(built.stream->schema(), &clf_split, &det_split, cfg);
+  std::vector<uint64_t> split_ids;
+  for (size_t at = 0; at < data.size(); at += kChunk) {
+    const size_t end = std::min(data.size(), at + kChunk);
+    for (size_t j = at; j < end; ++j) {
+      split_ids.push_back(split.Predict(data[j].features, data[j].weight).id);
+    }
+    for (size_t j = at; j < end; ++j) {
+      ASSERT_EQ(split.Label(split_ids[j], data[j].label),
+                LabelOutcome::kApplied);
+    }
+  }
+
+  GaussianNaiveBayes clf_batch(built.stream->schema());
+  Fhddm det_batch;
+  MonitorEngine batched(built.stream->schema(), &clf_batch, &det_batch, cfg);
+  std::vector<MonitorEngine::Ticket> tickets;
+  std::vector<LabelRequest> labels;
+  std::vector<LabelOutcome> outcomes;
+  size_t seen = 0;
+  for (size_t at = 0; at < data.size(); at += kChunk) {
+    const size_t end = std::min(data.size(), at + kChunk);
+    const std::vector<Instance> chunk(data.begin() + static_cast<long>(at),
+                                      data.begin() + static_cast<long>(end));
+    batched.PredictBatch(chunk, &tickets);
+    ASSERT_EQ(tickets.size(), chunk.size());
+    labels.resize(chunk.size());
+    for (size_t j = 0; j < chunk.size(); ++j) {
+      EXPECT_EQ(tickets[j].id, split_ids[seen + j]);
+      labels[j].id = tickets[j].id;
+      labels[j].label = chunk[j].label;
+    }
+    batched.LabelBatch(labels, &outcomes);
+    ASSERT_EQ(outcomes.size(), chunk.size());
+    for (LabelOutcome outcome : outcomes) {
+      EXPECT_EQ(outcome, LabelOutcome::kApplied);
+    }
+    seen = end;
+  }
+  ExpectBitIdentical(split.Result(), batched.Result());
+  EXPECT_EQ(batched.pending(), 0u);
+  EXPECT_EQ(batched.evicted(), 0u);
+}
+
+// Eviction and unmatched-label accounting under LabelBatch with
+// out-of-order and duplicate ids must match the per-instance Label path
+// exactly: same counters, same per-request outcomes, same result.
+TEST(MonitorEngineTest, LabelBatchAccountingMatchesPerInstance) {
+  const StreamSpec* spec = FindStreamSpec("RBF5");
+  ASSERT_NE(spec, nullptr);
+  BuildOptions options;
+  options.scale = 0.001;
+  PrequentialConfig cfg = ShortConfig();
+  cfg.max_instances = 200;
+
+  BuiltStream built = BuildStream(*spec, options);
+  std::vector<Instance> data = Take(built.stream.get(), cfg.max_instances);
+
+  // Twin engines with a tight ring: predictions overflow it, so some of
+  // the labels below address evicted predictions.
+  GaussianNaiveBayes clf_one(built.stream->schema());
+  MonitorEngine one(built.stream->schema(), &clf_one, nullptr, cfg,
+                    EngineHooks{}, /*pending_capacity=*/8);
+  GaussianNaiveBayes clf_batch(built.stream->schema());
+  MonitorEngine batched(built.stream->schema(), &clf_batch, nullptr, cfg,
+                        EngineHooks{}, /*pending_capacity=*/8);
+
+  std::vector<uint64_t> ids_one, ids_batch;
+  std::vector<MonitorEngine::Ticket> tickets;
+  constexpr size_t kChunk = 12;  // > capacity: every chunk evicts.
+  for (size_t at = 0; at < data.size(); at += kChunk) {
+    const size_t end = std::min(data.size(), at + kChunk);
+    const std::vector<Instance> chunk(data.begin() + static_cast<long>(at),
+                                      data.begin() + static_cast<long>(end));
+    for (const Instance& inst : chunk) {
+      ids_one.push_back(one.Predict(inst.features, inst.weight).id);
+    }
+    batched.PredictBatch(chunk, &tickets);
+    for (const MonitorEngine::Ticket& t : tickets) ids_batch.push_back(t.id);
+
+    // Label the chunk in reverse (out of order), then re-send the last
+    // two ids (duplicates -> already completed) and one never-issued id.
+    std::vector<LabelRequest> requests;
+    for (size_t j = end; j-- > at;) {
+      requests.push_back({ids_batch[j], chunk[j - at].label});
+    }
+    requests.push_back({ids_batch[end - 1], chunk[end - 1 - at].label});
+    requests.push_back({ids_batch[at], chunk[0].label});
+    requests.push_back({999999999u, 0});
+
+    std::vector<LabelOutcome> one_outcomes;
+    for (const LabelRequest& req : requests) {
+      // Same ticket ids on both engines: reuse the batch-built requests.
+      one_outcomes.push_back(one.Label(req.id, req.label));
+    }
+    std::vector<LabelOutcome> batch_outcomes;
+    batched.LabelBatch(requests, &batch_outcomes);
+    ASSERT_EQ(batch_outcomes, one_outcomes);
+
+    ASSERT_EQ(batched.pending(), one.pending());
+    ASSERT_EQ(batched.evicted(), one.evicted());
+    ASSERT_EQ(batched.unmatched_labels(), one.unmatched_labels());
+  }
+  EXPECT_EQ(ids_one, ids_batch);
+  EXPECT_GT(batched.evicted(), 0u);
+  EXPECT_GT(batched.unmatched_labels(), 0u);
+  ExpectBitIdentical(one.Result(), batched.Result());
+}
+
 // -------------------------------------------------- events and snapshots
 
 TEST(MonitorEngineTest, DriftEventsCarryDriftedClasses) {

@@ -145,6 +145,93 @@ int SweepSeeds() {
   return n < 1 ? 1 : n;
 }
 
+/// Crash with ingress entries queued: async feeders run against a
+/// persister under the sim scheduler — Persist drains every queue, so
+/// entries queued at the cut are durable. After the schedule ends, more
+/// entries are parked in the queues with provably nothing draining them,
+/// and the process dies. Queued-but-undrained entries die with it; the
+/// history checker models exactly that, because their kFeed records sit
+/// after the last kPersist and the kCrashRestart rollback erases them.
+SimCheckResult RunIngressCrashScenario(uint64_t seed) {
+  SimServingConfig config;
+  config.shards = 3;
+  const std::string dir =
+      ScratchDir("sim-ingress-crash-" + std::to_string(seed));
+  SimHistory history;
+
+  std::vector<std::vector<KeyedInstance>> first;
+  std::vector<std::vector<DelayedPush>> second;
+  for (int t = 0; t < 3; ++t) {
+    first.push_back(MakeKeyedSchedule(KeysForSlot(t, 3, 6), 50,
+                                      /*seed=*/91 + static_cast<uint64_t>(t)));
+    second.push_back(MakeDelaySchedule(KeysForSlot(t, 3, 6), 30,
+                                       /*seed=*/101 + static_cast<uint64_t>(t),
+                                       /*max_delay=*/0));
+  }
+
+  {
+    auto monitor = MakeServing(config);
+    RecordingMonitor recording(&monitor, &history);
+    sim::Scheduler sched(seed);
+    for (int t = 0; t < 3; ++t) {
+      sched.Spawn("feeder-" + std::to_string(t), [&recording, &first, t] {
+        size_t n = 0;
+        for (const KeyedInstance& push : first[static_cast<size_t>(t)]) {
+          if (++n % 4 == 0) {
+            recording.Feed(push.key, push.instance);  // Locked push: drains.
+          } else {
+            while (!recording.FeedAsync(push.key, push.instance)) {
+              recording.Flush();
+            }
+          }
+          if (n % 8 == 0) sim::SleepFor(1 + sim::Choice(3));
+        }
+      });
+    }
+    sched.Spawn("persister", [&recording, &dir] {
+      sim::SleepFor(5 + sim::Choice(80));
+      recording.Persist(dir);  // Drains the queues: queued feeds are durable.
+    });
+    sched.Run();
+    // Park entries in the queues with no drain between here and death:
+    // no locked push, no Flush, no Persist. Their kFeed records are the
+    // post-cut suffix the rollback must erase.
+    for (size_t i = 0; i < 3; ++i) {
+      recording.FeedAsync(first[0][i].key, first[0][i].instance);
+    }
+  }  // Crash: the queued entries die with the process.
+
+  auto reopened = api::ShardedMonitor::Open(dir);
+  RecordCrashRestart(&history);
+  RecordingMonitor recording(&reopened, &history);
+  sim::Scheduler sched(seed ^ 0x9e3779b97f4a7c15ull);
+  for (int t = 0; t < 3; ++t) {
+    sched.Spawn("producer-" + std::to_string(t), [&recording, &second, t] {
+      RunDelayedProducer(recording, second[static_cast<size_t>(t)],
+                         /*depth=*/3);
+    });
+  }
+  sched.Run();
+
+  HistoryChecker checker(config);
+  const SimCheckResult result = checker.Check(history, reopened);
+  RemoveTree(dir);
+  return result;
+}
+
+TEST(SimCrashTest, CrashWithIngressEntriesQueued) {
+  const int seeds = SweepSeeds();
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 7000 + static_cast<uint64_t>(s);
+    const SimCheckResult result = RunIngressCrashScenario(seed);
+    if (!result.ok) {
+      std::cerr << "CCD_SIM_FAIL scenario=ingress_crash seed=" << seed
+                << " error=" << result.error << std::endl;
+      ADD_FAILURE() << "ingress_crash seed " << seed << ": " << result.error;
+    }
+  }
+}
+
 TEST(SimCrashTest, PersistAtSeededTimesThenCrashAndContinue) {
   const int seeds = SweepSeeds();
   for (int s = 0; s < seeds; ++s) {

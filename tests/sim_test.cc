@@ -48,7 +48,9 @@ using runtime::Mutex;
 using runtime::MutexLock;
 using test_util::DelayedPush;
 using test_util::FaultPlane;
+using test_util::FeedRetry;
 using test_util::HistoryChecker;
+using test_util::KeyedInstance;
 using test_util::KeysForSlot;
 using test_util::MakeDelaySchedule;
 using test_util::MakeKeyedSchedule;
@@ -512,6 +514,124 @@ ScenarioOutcome RunFaultPlaneScenario(uint64_t seed) {
   return outcome;
 }
 
+/// Drives one keyed schedule through the lock-free ingress: mostly
+/// FeedAsync (retrying via Flush on backpressure), with a locked Feed
+/// every few pushes so the queue drains mid-run and the two paths
+/// interleave on the same shard.
+void RunAsyncFeeder(RecordingMonitor& recording,
+                    const std::vector<KeyedInstance>& schedule) {
+  size_t n = 0;
+  for (const KeyedInstance& push : schedule) {
+    if (++n % 5 == 0) {
+      FeedRetry(recording, push.key, push.instance);  // Locked push: drains.
+    } else {
+      while (!recording.FeedAsync(push.key, push.instance)) {
+        recording.Flush();  // Queue full: drain it ourselves, then retry.
+      }
+    }
+    if (n % 8 == 0) sim::SleepFor(1 + sim::Choice(3));
+  }
+}
+
+/// Async ingress during reshard: lock-free feeders run against delayed
+/// predict/label producers while the controller grows the table, flushes,
+/// and drains a shard — entries queued at drain time must migrate with
+/// the outgoing engine's state, and the enqueue-order history must stay
+/// the order the engines observed.
+ScenarioOutcome RunAsyncIngressScenario(uint64_t seed) {
+  SimServingConfig config;
+  config.shards = 3;
+  auto monitor = MakeServing(config);
+  SimHistory history;
+  RecordingMonitor recording(&monitor, &history);
+
+  std::vector<std::vector<KeyedInstance>> feeds;
+  std::vector<std::vector<DelayedPush>> predicts;
+  for (int t = 0; t < 3; ++t) {
+    feeds.push_back(MakeKeyedSchedule(KeysForSlot(t, 3, 6), 70,
+                                      /*seed=*/61 + static_cast<uint64_t>(t)));
+    predicts.push_back(MakeDelaySchedule(KeysForSlot(t, 3, 6), 40,
+                                         /*seed=*/67 + static_cast<uint64_t>(t),
+                                         /*max_delay=*/2));
+  }
+
+  sim::Scheduler sched(seed);
+  for (int t = 0; t < 3; ++t) {
+    sched.Spawn("feeder-" + std::to_string(t), [&recording, &feeds, t] {
+      RunAsyncFeeder(recording, feeds[static_cast<size_t>(t)]);
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    sched.Spawn("producer-" + std::to_string(t),
+                [&recording, &predicts, t] {
+                  RunDelayedProducer(recording, predicts[static_cast<size_t>(t)],
+                                     /*depth=*/3);
+                });
+  }
+  sched.Spawn("controller", [&recording] {
+    sim::SleepFor(30);
+    recording.AddShard();
+    sim::SleepFor(20);
+    recording.Flush();
+    sim::SleepFor(20);
+    recording.DrainShard(static_cast<int>(sim::Choice(4)));
+  });
+  sched.Run();
+  recording.Flush();  // Aggregate reads never drain: apply the tail.
+
+  HistoryChecker checker(config);
+  ScenarioOutcome outcome;
+  outcome.digest = sched.digest();
+  outcome.check = checker.Check(history, monitor);
+  return outcome;
+}
+
+/// Queue-full backpressure: a tiny ingress bound with bursty feeders, so
+/// TryPush provably fails (each burst of 4 overruns capacity 2) and the
+/// retry path — Flush, then push again — runs constantly. Rejected
+/// pushes must leave no trace; accepted ones must all land.
+ScenarioOutcome RunIngressBackpressureScenario(uint64_t seed) {
+  SimServingConfig config;
+  config.shards = 3;
+  config.ingress_capacity = 2;
+  auto monitor = MakeServing(config);
+  SimHistory history;
+  RecordingMonitor recording(&monitor, &history);
+
+  std::vector<std::vector<KeyedInstance>> feeds;
+  for (int t = 0; t < 3; ++t) {
+    feeds.push_back(MakeKeyedSchedule(KeysForSlot(t, 3, 6), 60,
+                                      /*seed=*/83 + static_cast<uint64_t>(t)));
+  }
+
+  sim::Scheduler sched(seed);
+  for (int t = 0; t < 3; ++t) {
+    sched.Spawn("feeder-" + std::to_string(t), [&recording, &feeds, t] {
+      const std::vector<KeyedInstance>& schedule =
+          feeds[static_cast<size_t>(t)];
+      for (size_t i = 0; i < schedule.size(); ++i) {
+        while (!recording.FeedAsync(schedule[i].key, schedule[i].instance)) {
+          recording.Flush();
+        }
+        if (i % 4 == 3) sim::SleepFor(1 + sim::Choice(2));
+      }
+    });
+  }
+  sched.Run();
+  recording.Flush();
+
+  HistoryChecker checker(config);
+  ScenarioOutcome outcome;
+  outcome.digest = sched.digest();
+  outcome.check = checker.Check(history, monitor);
+  if (outcome.check.ok && recording.rejected_feeds() == 0) {
+    outcome.check.ok = false;
+    outcome.check.error = "backpressure never triggered (capacity 2, bursts "
+                          "of 4: TryPush should have failed)";
+  }
+  return outcome;
+}
+
 // ------------------------------------------------------------- sweeps
 
 /// Seeds per scenario: 5 in tier-1, CCD_SIM_SEEDS (e.g. 1000) in the
@@ -550,6 +670,14 @@ TEST(SimSweepTest, ShipLoadUnderTraffic) {
 
 TEST(SimSweepTest, DroppedAndDuplicatedLabels) {
   Sweep("fault_plane", RunFaultPlaneScenario);
+}
+
+TEST(SimSweepTest, AsyncIngressDuringReshard) {
+  Sweep("async_ingress", RunAsyncIngressScenario);
+}
+
+TEST(SimSweepTest, IngressBackpressure) {
+  Sweep("ingress_backpressure", RunIngressBackpressureScenario);
 }
 
 // Acceptance: same seed → bit-identical schedule digest *and* checker

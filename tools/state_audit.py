@@ -920,9 +920,15 @@ def wire_pattern(calls):
 
 
 def fingerprint(model):
+    # Only the serialized surface is fingerprinted: unskipped members plus
+    # the exact SaveState call sequence. Justified-skip scratch members are
+    # excluded — they never reach the wire, so adding one must not demand a
+    # kStateSchemaVersion bump (the coverage check still forces every new
+    # member to be either serialized or explicitly skip-annotated).
     save = model.surfaces["SaveState"]
     payload = {
-        "fields": sorted(f for f, _ in model.fields),
+        "fields": sorted(
+            f for f, _ in model.fields if f not in model.skips),
         "save_sequence": [repr(c) for c in save.calls],
     }
     digest = hashlib.sha256(
